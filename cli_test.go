@@ -1,0 +1,122 @@
+package stbusgen_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCLIPipeline drives the full command-line workflow: simulate,
+// inspect the trace, design from it, and emit the netlist — the same
+// steps a user follows in the README.
+func TestCLIPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	simBin := buildTool(t, dir, "stbus-sim")
+	genBin := buildTool(t, dir, "xbargen")
+	statBin := buildTool(t, dir, "tracestat")
+
+	prefix := filepath.Join(dir, "qsort")
+	out := runTool(t, simBin, "-app", "qsort", "-arch", "full", "-trace-out", prefix)
+	if !strings.Contains(out, "QSort on full STbus") {
+		t.Errorf("stbus-sim output unexpected:\n%s", out)
+	}
+	for _, suffix := range []string{".req.trc", ".resp.trc"} {
+		if _, err := os.Stat(prefix + suffix); err != nil {
+			t.Fatalf("trace file missing: %v", err)
+		}
+	}
+
+	out = runTool(t, statBin, "-trace", prefix+".req.trc")
+	if !strings.Contains(out, "per-receiver duty") {
+		t.Errorf("tracestat output unexpected:\n%s", out)
+	}
+
+	netlistPath := filepath.Join(dir, "design.json")
+	out = runTool(t, genBin,
+		"-trace", prefix+".req.trc", "-window", "900",
+		"-netlist", netlistPath)
+	if !strings.Contains(out, "design (branch-and-bound engine): 3 buses") {
+		t.Errorf("xbargen output unexpected (want 3 buses):\n%s", out)
+	}
+	data, err := os.ReadFile(netlistPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"buses"`) {
+		t.Errorf("netlist JSON unexpected:\n%s", data)
+	}
+}
+
+// TestCLISpecAndVCD drives the custom-workload and waveform paths.
+func TestCLISpecAndVCD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	simBin := buildTool(t, dir, "stbus-sim")
+
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{
+		"name": "CLITest",
+		"arm_cores": 3,
+		"iterations": 6,
+		"reads": 8, "read_burst": 4,
+		"writes": 2, "write_burst": 4,
+		"gap": 5, "idle": 300
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vcdPath := filepath.Join(dir, "wave.vcd")
+	out := runTool(t, simBin, "-spec", specPath, "-vcd", vcdPath)
+	if !strings.Contains(out, "CLITest on full STbus (3 initiators, 6 targets") {
+		t.Errorf("spec-driven run unexpected:\n%s", out)
+	}
+	wave, err := os.ReadFile(vcdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(wave), "$enddefinitions $end") {
+		t.Error("VCD output malformed")
+	}
+}
+
+// TestCLIExperiments smoke-tests the experiment driver on the cheapest
+// artifact.
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	expBin := buildTool(t, dir, "experiments")
+	out := runTool(t, expBin, "-run", "table1")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "partial") {
+		t.Errorf("experiments output unexpected:\n%s", out)
+	}
+}

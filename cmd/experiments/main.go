@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures:
+// Table 1 (crossbar performance and cost), Table 2 (component
+// savings), Figure 4 (relative latencies), Figure 5(a)/(b) (window and
+// burst sizing), Figure 6 (overlap threshold), and the Section 7.3
+// binding and real-time studies.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table2,fig5a -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		runList = flag.String("run", "all", "comma-separated: table1, table2, fig4, fig5a, fig5b, fig6, binding, realtime, cost, adaptive, robustness, multiuse, or all")
+		seed    = flag.Int64("seed", experiments.Seed, "workload seed")
+	)
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, name := range strings.Split(*runList, ",") {
+		selected[strings.TrimSpace(strings.ToLower(name))] = true
+	}
+	all := selected["all"]
+	want := func(name string) bool { return all || selected[name] }
+
+	if want("table1") {
+		rows, err := experiments.Table1(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.Table1Report(rows))
+	}
+	if want("table2") {
+		rows, err := experiments.Table2(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.Table2Report(rows))
+	}
+	if want("fig4") {
+		rows, err := experiments.Figure4(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		avgPanel, maxPanel := experiments.Figure4Report(rows)
+		fmt.Println(avgPanel)
+		fmt.Println(maxPanel)
+	}
+	if want("fig5a") {
+		points, err := experiments.Figure5a(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.Figure5aReport(points))
+	}
+	if want("fig5b") {
+		points, err := experiments.Figure5b(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.Figure5bReport(points))
+	}
+	if want("fig6") {
+		points, err := experiments.Figure6(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.Figure6Report(points))
+	}
+	if want("binding") {
+		rows, err := experiments.Binding(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.BindingReport(rows))
+	}
+	if want("realtime") {
+		res, err := experiments.Realtime(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RealtimeReport(res))
+	}
+	if want("cost") {
+		rows, err := experiments.Cost(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.CostReport(rows))
+	}
+	if want("adaptive") {
+		rows, err := experiments.Adaptive(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.AdaptiveReport(rows))
+	}
+	if want("robustness") {
+		rows, err := experiments.Robustness(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.RobustnessReport(rows))
+	}
+	if want("multiuse") {
+		res, err := experiments.MultiUse(*seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(experiments.MultiUseReport(res))
+	}
+}

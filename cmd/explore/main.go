@@ -1,0 +1,66 @@
+// Command explore sweeps the methodology's tuning parameters (window
+// size, overlap threshold, targets-per-bus cap) on one benchmark,
+// validates every candidate crossbar by simulation, and reports the
+// size/latency trade-off with the Pareto-optimal rows marked — the
+// design-space exploration the paper describes in Section 7.1.
+//
+// Usage:
+//
+//	explore -app mat2
+//	explore -app synth -burst 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/explore"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("explore: ")
+
+	var (
+		appName = flag.String("app", "mat2", "application: mat1, mat2, fft, qsort, des, synth")
+		seed    = flag.Int64("seed", 1, "workload seed")
+		burst   = flag.Int64("burst", 1000, "nominal burst length for -app synth")
+	)
+	flag.Parse()
+
+	var app *workloads.App
+	switch strings.ToLower(*appName) {
+	case "mat1":
+		app = workloads.Mat1(*seed)
+	case "mat2":
+		app = workloads.Mat2(*seed)
+	case "fft":
+		app = workloads.FFT(*seed)
+	case "qsort":
+		app = workloads.QSort(*seed)
+	case "des":
+		app = workloads.DES(*seed)
+	case "synth":
+		app = workloads.Synthetic(*seed, *burst)
+	default:
+		log.Fatalf("unknown -app %q", *appName)
+	}
+
+	points, err := explore.Sweep(app, explore.DefaultGrid(app.WindowSize))
+	if err != nil {
+		log.Fatal(err)
+	}
+	title := fmt.Sprintf("Design space of %s (%d cores; * = Pareto-optimal in buses × avg latency)",
+		app.Name, app.NumCores())
+	fmt.Println(explore.Report(title, points))
+
+	front := explore.ParetoFront(points)
+	fmt.Println("Pareto frontier:")
+	for _, p := range front {
+		fmt.Printf("  %2d buses, avg %.2f cy  (window %d, threshold %.0f%%, maxtb %d)\n",
+			p.Buses, p.AvgLat, p.Window, p.Threshold*100, p.MaxPerBus)
+	}
+}

@@ -1,0 +1,121 @@
+// Command tracestat summarizes a functional traffic trace: per-receiver
+// duty cycles (average and peak-window), burst statistics, and the
+// pairwise overlap structure that drives the crossbar design. Use it to
+// pick analysis parameters (window size relative to bursts, overlap
+// threshold) before running xbargen.
+//
+// Usage:
+//
+//	tracestat -trace mat2.req.trc
+//	tracestat -trace mat2.req.trc -window 800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracestat: ")
+
+	var (
+		tracePath = flag.String("trace", "", "trace file (binary or JSON)")
+		window    = flag.Int64("window", 0, "window size for peak-duty analysis (0 = mean burst × 2)")
+		jsonTrace = flag.Bool("json", false, "trace file is JSON")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		log.Fatal("missing -trace")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if *jsonTrace {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bursts := tr.Bursts()
+	fmt.Printf("trace: %d senders → %d receivers, %d events, horizon %d cycles\n",
+		tr.NumSenders, tr.NumReceivers, len(tr.Events), tr.Horizon)
+	fmt.Printf("bursts: %d, mean %.0f cycles, max %d\n", bursts.Count, bursts.MeanLen, bursts.MaxLen)
+
+	ws := *window
+	if ws <= 0 {
+		ws = int64(bursts.MeanLen * 2)
+		if ws < 1 {
+			ws = tr.Horizon / 100
+		}
+		if ws < 1 {
+			ws = 1
+		}
+	}
+	peak, err := tr.PeakWindowDuty(ws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	duty := tr.DutyCycles()
+	fmt.Printf("\nper-receiver duty (window %d cycles):\n", ws)
+	fmt.Printf("  %8s  %8s  %8s  %s\n", "receiver", "avg duty", "peak", "burstiness")
+	for r := 0; r < tr.NumReceivers; r++ {
+		ratio := 0.0
+		if duty[r] > 0 {
+			ratio = peak[r] / duty[r]
+		}
+		fmt.Printf("  %8d  %7.1f%%  %7.1f%%  %.1fx\n", r, duty[r]*100, peak[r]*100, ratio)
+	}
+
+	fmt.Println("\nburst length histogram (powers of two):")
+	bounds, counts := tr.BurstHistogram(1, 12)
+	for i := range bounds {
+		if counts[i] == 0 {
+			continue
+		}
+		fmt.Printf("  >=%7d cycles: %d\n", bounds[i], counts[i])
+	}
+
+	ov := tr.OverlapFractions()
+	fmt.Println("\nheaviest pairwise overlaps (fraction of the lighter stream):")
+	type pair struct {
+		i, j int
+		f    float64
+	}
+	var pairs []pair
+	for i := 0; i < tr.NumReceivers; i++ {
+		for j := i + 1; j < tr.NumReceivers; j++ {
+			if f := ov.At(i, j); f > 0 {
+				pairs = append(pairs, pair{i, j, f})
+			}
+		}
+	}
+	// Selection of the top 10 without sorting the whole list is not
+	// worth the code; sort simply.
+	for a := 0; a < len(pairs); a++ {
+		for b := a + 1; b < len(pairs); b++ {
+			if pairs[b].f > pairs[a].f {
+				pairs[a], pairs[b] = pairs[b], pairs[a]
+			}
+		}
+	}
+	if len(pairs) > 10 {
+		pairs = pairs[:10]
+	}
+	for _, p := range pairs {
+		fmt.Printf("  r%-3d r%-3d %.0f%%\n", p.i, p.j, p.f*100)
+	}
+	if len(pairs) == 0 {
+		fmt.Println("  (none)")
+	}
+}

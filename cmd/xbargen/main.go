@@ -1,0 +1,134 @@
+// Command xbargen designs an STbus crossbar from a functional traffic
+// trace (as produced by stbus-sim -trace-out): it runs the window-based
+// analysis, the pre-processing, the feasibility binary search and the
+// optimal binding, then prints the resulting configuration.
+//
+// Usage:
+//
+//	xbargen -trace mat2.req.trc -window 800
+//	xbargen -trace mat2.resp.trc -window 800 -threshold 0.4 -maxtb 4 -engine milp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stbus"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("xbargen: ")
+
+	var (
+		tracePath  = flag.String("trace", "", "trace file (binary or JSON)")
+		window     = flag.Int64("window", 0, "analysis window size in cycles (0 = horizon/100)")
+		threshold  = flag.Float64("threshold", 0.30, "overlap threshold as a fraction of the window (negative disables)")
+		maxtb      = flag.Int("maxtb", 4, "maximum receivers per bus (0 = unlimited)")
+		noBind     = flag.Bool("no-binding", false, "skip the optimal-binding phase")
+		noCrit     = flag.Bool("no-critical", false, "do not separate overlapping critical streams")
+		engine     = flag.String("engine", "bb", "solver engine: bb (branch and bound), milp, or anneal")
+		jsonTrace  = flag.Bool("json", false, "trace file is JSON")
+		netlist    = flag.String("netlist", "", "also write a JSON netlist of the designed direction (paired with a full crossbar for the other direction)")
+		structural = flag.Bool("structural", false, "print a structural-HDL rendering of the design")
+	)
+	flag.Parse()
+
+	if *tracePath == "" {
+		log.Fatal("missing -trace")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var tr *trace.Trace
+	if *jsonTrace {
+		tr, err = trace.ReadJSON(f)
+	} else {
+		tr, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ws := *window
+	if ws <= 0 {
+		ws = tr.WindowSizeHint()
+	}
+	a, err := trace.Analyze(tr, ws)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.Options{
+		OverlapThreshold: *threshold,
+		SeparateCritical: !*noCrit,
+		MaxPerBus:        *maxtb,
+		OptimizeBinding:  !*noBind,
+	}
+	switch *engine {
+	case "bb":
+		opts.Engine = core.EngineBranchBound
+	case "milp":
+		opts.Engine = core.EngineMILP
+	case "anneal":
+		opts.Engine = core.EngineAnneal
+	default:
+		log.Fatalf("unknown -engine %q (want bb, milp or anneal)", *engine)
+	}
+
+	d, err := core.DesignCrossbar(a, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	burst := tr.Bursts()
+	fmt.Printf("trace: %d receivers, %d events, horizon %d cycles, mean burst %.0f cycles\n",
+		tr.NumReceivers, len(tr.Events), tr.Horizon, burst.MeanLen)
+	fmt.Printf("analysis: %d windows of %d cycles, peak windowed demand %d buses\n",
+		a.NumWindows(), ws, a.MaxWindowLoad())
+	fmt.Printf("design (%s engine): %d buses, %d conflict pairs, max bus overlap %d cycles, %d search nodes\n",
+		d.Engine, d.NumBuses, d.Conflicts, d.MaxBusOverlap, d.SearchNodes)
+	for b := 0; b < d.NumBuses; b++ {
+		fmt.Printf("  bus %d:", b)
+		for r, bus := range d.BusOf {
+			if bus == b {
+				fmt.Printf(" r%d", r)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *netlist != "" || *structural {
+		designed := stbus.Partial(tr.NumSenders, d.BusOf)
+		other := stbus.Full(tr.NumReceivers, tr.NumSenders)
+		nl, err := stbus.GenerateNetlist(*tracePath, designed, other)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *netlist != "" {
+			out, err := os.Create(*netlist)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := nl.WriteJSON(out); err != nil {
+				out.Close()
+				log.Fatal(err)
+			}
+			if err := out.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("netlist written to %s\n", *netlist)
+		}
+		if *structural {
+			if err := nl.WriteStructural(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Netlist: generate the structural crossbar artifact and its area and
+// power estimates — the outputs a downstream implementation flow would
+// consume after the methodology picks a configuration.
+//
+// Run with:
+//
+//	go run ./examples/netlist
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	stbusgen "repro"
+	"repro/internal/cost"
+	"repro/internal/stbus"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app := stbusgen.DES(1)
+	fmt.Printf("designing %s (%d cores)\n\n", app.Name, app.NumCores())
+	result, err := stbusgen.DesignForApp(app, stbusgen.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	req := stbus.Partial(app.NumInitiators, result.Pair.Req.BusOf)
+	resp := stbus.Partial(app.NumTargets, result.Pair.Resp.BusOf)
+
+	// Structural netlist of the designed instantiation.
+	netlist, err := stbus.GenerateNetlist(app.Name+" designed crossbar", req, resp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := netlist.WriteStructural(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Area and power against the full crossbar it replaces.
+	fullReq, fullResp := app.FullConfig()
+	am, pm := cost.DefaultAreaModel(), cost.DefaultPowerModel()
+
+	desArea := am.EstimatePairArea(req, resp)
+	fullArea := am.EstimatePairArea(fullReq, fullResp)
+	fmt.Printf("area: designed %.0f vs full %.0f gate-equivalents (%.2fx smaller)\n",
+		desArea.Total(), fullArea.Total(), fullArea.Total()/desArea.Total())
+
+	desPower, err := pm.EstimatePower(req, am.EstimateArea(req),
+		cost.ActivityFromUtilization(result.Validation.ReqUtil, result.Validation.ReqGrants, result.Validation.EndCycle))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullPower, err := pm.EstimatePower(fullReq, am.EstimateArea(fullReq),
+		cost.ActivityFromUtilization(result.FullRun.ReqUtil, result.FullRun.ReqGrants, result.FullRun.EndCycle))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("request-side power: designed %.3f vs full %.3f units/cycle (%.2fx lower)\n",
+		desPower.Total(), fullPower.Total(), fullPower.Total()/desPower.Total())
+}

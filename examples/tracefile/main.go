@@ -1,0 +1,91 @@
+// Tracefile: the decoupled designer workflow — collect a functional
+// traffic trace, persist it to disk, then design crossbars from the
+// file, as a design team would when the simulation platform and the
+// crossbar generator run as separate steps (this is the workflow the
+// cmd/stbus-sim and cmd/xbargen tools expose).
+//
+// Run with:
+//
+//	go run ./examples/tracefile
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	stbusgen "repro"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app := stbusgen.QSort(1)
+	fmt.Printf("collecting traces for %s (%d cores)\n", app.Name, app.NumCores())
+	reqTrace, respTrace, err := stbusgen.CollectTrace(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "stbusgen-traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	reqPath := filepath.Join(dir, "qsort.req.trc")
+	if err := writeTrace(reqPath, reqTrace); err != nil {
+		log.Fatal(err)
+	}
+	respPath := filepath.Join(dir, "qsort.resp.trc")
+	if err := writeTrace(respPath, respTrace); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(reqPath)
+	fmt.Printf("wrote %s (%d bytes, %d events)\n", reqPath, info.Size(), len(reqTrace.Events))
+
+	// A separate step (possibly another process) reads the trace back
+	// and designs the crossbar from it.
+	loaded, err := readTrace(reqPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := stbusgen.DesignFromTrace(loaded, app.WindowSize, stbusgen.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initiator→target design from file: %d buses, binding %v\n", d.NumBuses, d.BusOf)
+
+	loadedResp, err := readTrace(respPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dResp, err := stbusgen.DesignFromTrace(loadedResp, app.WindowSize, stbusgen.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("target→initiator design from file: %d buses, binding %v\n", dResp.NumBuses, dResp.BusOf)
+	fmt.Printf("total: %d buses vs %d for a full crossbar (%.2fx savings)\n",
+		d.NumBuses+dResp.NumBuses, app.NumCores(),
+		float64(app.NumCores())/float64(d.NumBuses+dResp.NumBuses))
+}
+
+func writeTrace(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteBinary(f, tr)
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadBinary(f)
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// AnnealParams tunes the simulated-annealing binding optimizer.
+type AnnealParams struct {
+	// Iterations is the number of proposed moves (0 = default).
+	Iterations int
+	// Seed makes the anneal deterministic.
+	Seed int64
+	// StartTemp and EndTemp bound the geometric cooling schedule, in
+	// units of the overlap objective. Zero values pick defaults scaled
+	// to the instance.
+	StartTemp, EndTemp float64
+}
+
+// AnnealBinding improves a feasible binding by simulated annealing on
+// the binding objective (maximum per-bus aggregate overlap, paper
+// Eq. 11). It is a heuristic alternative to the exact branch-and-bound
+// binding phase for instances near the STbus limit of 32 targets,
+// where the exact search may be slow. Moves relocate one receiver to
+// another bus or swap two receivers, and are only accepted when the
+// result stays feasible (bandwidth, conflicts, cap).
+//
+// The starting binding must be feasible for (numBuses, maxPerBus);
+// DesignCrossbar's feasibility phase provides one.
+func AnnealBinding(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, start []int, params AnnealParams) ([]int, int64) {
+	p := newAssignProblem(a, conflicts, maxPerBus, 0)
+	nT := p.nT
+	nW := len(p.ws)
+	if params.Iterations <= 0 {
+		params.Iterations = 4000 * nT
+	}
+
+	busOf := append([]int(nil), start...)
+	load := make([][]int64, numBuses)
+	for b := range load {
+		load[b] = make([]int64, nW)
+	}
+	count := make([]int, numBuses)
+	overlap := make([]int64, numBuses)
+	for r, b := range busOf {
+		count[b]++
+		for w := 0; w < nW; w++ {
+			load[b][w] += p.comm[r][w]
+		}
+	}
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if busOf[i] == busOf[j] {
+				overlap[busOf[i]] += p.om.At(i, j)
+			}
+		}
+	}
+	objective := func() int64 {
+		var m int64
+		for _, v := range overlap {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+
+	// pairDelta is the overlap receiver r contributes to bus b
+	// (excluding a receiver being moved away in the same step).
+	pairDelta := func(r, b, exclude int) int64 {
+		var d int64
+		for other, ob := range busOf {
+			if ob == b && other != r && other != exclude {
+				d += p.om.At(r, other)
+			}
+		}
+		return d
+	}
+	fitsBandwidth := func(r, b int) bool {
+		for w := 0; w < nW; w++ {
+			if load[b][w]+p.comm[r][w] > p.ws[w] {
+				return false
+			}
+		}
+		return true
+	}
+	conflictFree := func(r, b, exclude int) bool {
+		for other, ob := range busOf {
+			if ob == b && other != r && other != exclude && p.conflict[r][other] {
+				return false
+			}
+		}
+		return true
+	}
+	apply := func(r, from, to int) {
+		d := pairDelta(r, from, -1)
+		overlap[from] -= d
+		overlap[to] += pairDelta(r, to, -1)
+		count[from]--
+		count[to]++
+		for w := 0; w < nW; w++ {
+			load[from][w] -= p.comm[r][w]
+			load[to][w] += p.comm[r][w]
+		}
+		busOf[r] = to
+	}
+
+	best := append([]int(nil), busOf...)
+	bestObj := objective()
+	cur := bestObj
+
+	startTemp := params.StartTemp
+	if startTemp <= 0 {
+		startTemp = float64(bestObj)/2 + 1
+	}
+	endTemp := params.EndTemp
+	if endTemp <= 0 {
+		endTemp = startTemp / 1000
+	}
+	cooling := math.Pow(endTemp/startTemp, 1/float64(params.Iterations))
+	temp := startTemp
+	rng := rand.New(rand.NewSource(params.Seed))
+
+	for it := 0; it < params.Iterations; it++ {
+		temp *= cooling
+		r := rng.Intn(nT)
+		from := busOf[r]
+		to := rng.Intn(numBuses)
+		if to == from {
+			continue
+		}
+		var undo func()
+		if rng.Intn(2) == 0 {
+			// Relocate r to bus `to`.
+			if count[to] >= maxPerBus || !conflictFree(r, to, -1) || !fitsBandwidth(r, to) {
+				continue
+			}
+			apply(r, from, to)
+			undo = func() { apply(r, to, from) }
+		} else {
+			// Swap r with a receiver on bus `to`.
+			var candidates []int
+			for other, ob := range busOf {
+				if ob == to {
+					candidates = append(candidates, other)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			s := candidates[rng.Intn(len(candidates))]
+			if !conflictFree(r, to, s) || !conflictFree(s, from, r) {
+				continue
+			}
+			// Bandwidth with both displaced.
+			ok := true
+			for w := 0; w < nW; w++ {
+				if load[to][w]-p.comm[s][w]+p.comm[r][w] > p.ws[w] ||
+					load[from][w]-p.comm[r][w]+p.comm[s][w] > p.ws[w] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			apply(r, from, to)
+			apply(s, to, from)
+			undo = func() {
+				apply(r, to, from)
+				apply(s, from, to)
+			}
+		}
+		next := objective()
+		if next <= cur || rng.Float64() < math.Exp(float64(cur-next)/temp) {
+			cur = next
+			if cur < bestObj {
+				bestObj = cur
+				copy(best, busOf)
+			}
+			continue
+		}
+		undo()
+	}
+	return best, bestObj
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestAnnealBindingImprovesGreedyStart(t *testing.T) {
+	// Build an instance with a clear optimal structure: two groups of
+	// heavily-overlapping receivers; optimal binding interleaves them.
+	events := []trace.Event{
+		// Group A = {0,1,2} overlap pairwise by 100.
+		{Start: 0, Len: 100, Receiver: 0},
+		{Start: 0, Len: 100, Receiver: 1},
+		{Start: 0, Len: 100, Receiver: 2},
+		// Group B = {3,4,5} overlap pairwise by 100.
+		{Start: 500, Len: 100, Receiver: 3},
+		{Start: 500, Len: 100, Receiver: 4},
+		{Start: 500, Len: 100, Receiver: 5},
+	}
+	a := mkAnalysis(t, 6, 1000, 1000, events)
+	opts := Options{OverlapThreshold: -1, MaxPerBus: 2, OptimizeBinding: false}
+	conflicts := BuildConflicts(a, opts)
+
+	// A deliberately bad but feasible start: groups together.
+	start := []int{0, 0, 1, 1, 2, 2} // bus0={0,1} overlap 100, bus1={2,3} 0, bus2={4,5} 100
+	busOf, obj := AnnealBinding(a, conflicts, 3, 2, start, AnnealParams{Seed: 3})
+	// Optimal: pair each A with a B: max overlap 0.
+	if obj != 0 {
+		t.Errorf("anneal objective = %d, want 0 (bindings %v)", obj, busOf)
+	}
+	if got := MaxOverlapOf(a, 3, busOf); got != obj {
+		t.Errorf("reported objective %d != recomputed %d", obj, got)
+	}
+}
+
+func TestAnnealBindingStaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 15; iter++ {
+		a := randomAnalysis(t, rng, 4+rng.Intn(4))
+		opts := Options{OverlapThreshold: 0.5, SeparateCritical: true, MaxPerBus: 3, OptimizeBinding: false}
+		d, err := DesignCrossbar(a, opts)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		conflicts := BuildConflicts(a, opts)
+		busOf, obj := AnnealBinding(a, conflicts, d.NumBuses, 3, d.BusOf, AnnealParams{Seed: int64(iter)})
+		check := &Design{NumBuses: d.NumBuses, BusOf: busOf}
+		if err := check.Validate(a, opts); err != nil {
+			t.Fatalf("iter %d: anneal produced infeasible binding: %v", iter, err)
+		}
+		if obj > d.MaxBusOverlap && d.MaxBusOverlap > 0 {
+			// d came from feasibility only (no binding optimization),
+			// so anneal may legitimately match it but must never be
+			// worse than its own start.
+			startObj := MaxOverlapOf(a, d.NumBuses, d.BusOf)
+			if obj > startObj {
+				t.Fatalf("iter %d: anneal worsened objective: %d > start %d", iter, obj, startObj)
+			}
+		}
+	}
+}
+
+func TestEngineAnnealMatchesExactOnEasyInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 10; iter++ {
+		a := randomAnalysis(t, rng, 3+rng.Intn(3))
+		base := Options{OverlapThreshold: 0.5, MaxPerBus: 3, OptimizeBinding: true}
+		exact, err := DesignCrossbar(a, base)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		annealOpts := base
+		annealOpts.Engine = EngineAnneal
+		heur, err := DesignCrossbar(a, annealOpts)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if heur.NumBuses != exact.NumBuses {
+			t.Errorf("iter %d: bus counts differ: %d vs %d", iter, heur.NumBuses, exact.NumBuses)
+		}
+		if heur.MaxBusOverlap < exact.MaxBusOverlap {
+			t.Errorf("iter %d: heuristic beat the exact optimum: %d < %d",
+				iter, heur.MaxBusOverlap, exact.MaxBusOverlap)
+		}
+		// On these tiny instances the anneal should find the optimum.
+		if heur.MaxBusOverlap > exact.MaxBusOverlap {
+			t.Logf("iter %d: anneal suboptimal: %d vs %d (allowed but logged)",
+				iter, heur.MaxBusOverlap, exact.MaxBusOverlap)
+		}
+		if err := heur.Validate(a, annealOpts); err != nil {
+			t.Errorf("iter %d: anneal design invalid: %v", iter, err)
+		}
+	}
+}

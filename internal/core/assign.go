@@ -1,0 +1,428 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/trace"
+)
+
+// assignProblem is the specialized exact solver for the crossbar
+// feasibility and binding problems. It exploits the assignment
+// structure directly instead of going through the generic MILP: targets
+// are placed one at a time (heaviest first) into buses under
+// bandwidth/conflict/cap constraints, with symmetry breaking (a target
+// may open at most one new bus) and capacity-based pruning.
+type assignProblem struct {
+	nT int
+	// Reduced window view: only Pareto-maximal windows are kept for the
+	// bandwidth constraints (a window whose per-target loads are all
+	// dominated by another window can never be the binding constraint).
+	ws   []int64   // reduced window lengths
+	comm [][]int64 // comm[t][reduced window]
+
+	conflict  [][]bool
+	maxPerBus int
+	om        *ds.SymMatrix
+	order     []int // visit order (decreasing total demand)
+	maxNodes  int64
+}
+
+// assignResult is the outcome of one solve.
+type assignResult struct {
+	feasible   bool
+	busOf      []int
+	maxOverlap int64
+	nodes      int64
+}
+
+const defaultMaxNodes = 20_000_000
+
+func newAssignProblem(a *trace.Analysis, conflicts [][]bool, maxPerBus int, maxNodes int64) *assignProblem {
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxNodes
+	}
+	nT := a.NumReceivers
+	keep := reduceWindows(a)
+	p := &assignProblem{
+		nT:        nT,
+		ws:        make([]int64, len(keep)),
+		comm:      make([][]int64, nT),
+		conflict:  conflicts,
+		maxPerBus: maxPerBus,
+		om:        a.OM,
+		maxNodes:  maxNodes,
+	}
+	for wi, m := range keep {
+		p.ws[wi] = a.WindowLen(m)
+	}
+	for t := 0; t < nT; t++ {
+		p.comm[t] = make([]int64, len(keep))
+		for wi, m := range keep {
+			p.comm[t][wi] = a.Comm.At(t, m)
+		}
+	}
+	// Heaviest-demand-first ordering makes infeasibility surface early.
+	p.order = make([]int, nT)
+	totals := make([]int64, nT)
+	for t := 0; t < nT; t++ {
+		p.order[t] = t
+		for _, v := range p.comm[t] {
+			totals[t] += v
+		}
+	}
+	sort.SliceStable(p.order, func(x, y int) bool { return totals[p.order[x]] > totals[p.order[y]] })
+	return p
+}
+
+// reduceWindows returns indices of windows that are not dominated:
+// window m dominates m' when every target's load in m is ≥ its load in
+// m' and m's length is ≤ m' (tighter capacity, higher demand).
+func reduceWindows(a *trace.Analysis) []int {
+	nW := a.NumWindows()
+	nT := a.NumReceivers
+	keep := make([]int, 0, nW)
+	dominated := make([]bool, nW)
+	for m := 0; m < nW; m++ {
+		if dominated[m] {
+			continue
+		}
+		for m2 := 0; m2 < nW; m2++ {
+			if m2 == m || dominated[m2] {
+				continue
+			}
+			// Does m dominate m2?
+			if a.WindowLen(m) > a.WindowLen(m2) {
+				continue
+			}
+			dom := true
+			for t := 0; t < nT; t++ {
+				if a.Comm.At(t, m) < a.Comm.At(t, m2) {
+					dom = false
+					break
+				}
+			}
+			if dom {
+				dominated[m2] = true
+			}
+		}
+	}
+	for m := 0; m < nW; m++ {
+		if !dominated[m] {
+			keep = append(keep, m)
+		}
+	}
+	return keep
+}
+
+// lowerBound computes an analytic lower bound on the feasible bus
+// count: peak windowed demand, the targets-per-bus cap, and a greedy
+// clique of the conflict graph.
+func (p *assignProblem) lowerBound() int {
+	lb := 1
+	// Bandwidth bound per reduced window.
+	for wi, ws := range p.ws {
+		var sum int64
+		for t := 0; t < p.nT; t++ {
+			sum += p.comm[t][wi]
+		}
+		if need := int((sum + ws - 1) / ws); need > lb {
+			lb = need
+		}
+	}
+	// Cap bound.
+	if need := (p.nT + p.maxPerBus - 1) / p.maxPerBus; need > lb {
+		lb = need
+	}
+	// Conflict-clique bound: all members of a clique need distinct
+	// buses. Exact at STbus sizes (see clique.go).
+	if c := maxClique(p.conflict); c > lb {
+		lb = c
+	}
+	return lb
+}
+
+// searchState is the mutable backtracking state of one solve.
+type searchState struct {
+	p        *assignProblem
+	nB       int
+	busOf    []int     // target -> bus (-1 unassigned)
+	load     [][]int64 // load[bus][reduced window]
+	count    []int     // targets per bus
+	overlap  []int64   // per-bus aggregate pairwise overlap
+	total    []int64   // summed load per reduced window (for the global prune)
+	suffix   [][]int64 // suffix[idx][w]: demand of targets order[idx:]
+	used     int       // buses opened so far
+	nodes    int64
+	best     int64 // incumbent objective (binding mode)
+	bestBus  []int
+	optimize bool
+	capped   bool // node budget exhausted
+}
+
+// solve finds a feasible assignment into nB buses; with optimize set it
+// continues to the minimum-max-overlap binding (branch and bound seeded
+// by a greedy incumbent).
+func (p *assignProblem) solve(nB int, optimize bool) (*assignResult, error) {
+	if nB <= 0 {
+		return &assignResult{}, nil
+	}
+	nW := len(p.ws)
+	st := &searchState{
+		p:        p,
+		nB:       nB,
+		busOf:    make([]int, p.nT),
+		load:     make([][]int64, nB),
+		count:    make([]int, nB),
+		overlap:  make([]int64, nB),
+		total:    make([]int64, nW),
+		suffix:   make([][]int64, p.nT+1),
+		optimize: optimize,
+		best:     int64(1) << 62,
+	}
+	for t := range st.busOf {
+		st.busOf[t] = -1
+	}
+	for b := range st.load {
+		st.load[b] = make([]int64, nW)
+	}
+	st.suffix[p.nT] = make([]int64, nW)
+	for idx := p.nT - 1; idx >= 0; idx-- {
+		st.suffix[idx] = make([]int64, nW)
+		t := p.order[idx]
+		for w := 0; w < nW; w++ {
+			st.suffix[idx][w] = st.suffix[idx+1][w] + p.comm[t][w]
+		}
+	}
+
+	if optimize {
+		// Seed the incumbent with a greedy min-overlap binding so the
+		// branch and bound starts with a good bound.
+		if busOf, obj, ok := p.greedyBinding(nB); ok {
+			st.best = obj
+			st.bestBus = busOf
+		}
+	}
+
+	found := st.dfs(0, 0)
+	res := &assignResult{nodes: st.nodes}
+	if st.capped && !found && st.bestBus == nil {
+		return nil, ErrSearchLimit
+	}
+	if optimize {
+		if st.bestBus == nil {
+			return res, nil // infeasible
+		}
+		res.feasible = true
+		res.busOf = st.bestBus
+		res.maxOverlap = st.best
+		return res, nil
+	}
+	if !found {
+		return res, nil
+	}
+	res.feasible = true
+	res.busOf = append([]int(nil), st.busOf...)
+	res.maxOverlap = MaxOverlapOfMatrix(p.om, nB, res.busOf)
+	return res, nil
+}
+
+// dfs places targets order[idx:]; curMax is the running binding
+// objective. In feasibility mode it returns true at the first complete
+// assignment (leaving st.busOf filled); in optimize mode it records
+// improvements into st.bestBus and always returns false so the search
+// exhausts (subject to pruning).
+func (st *searchState) dfs(idx int, curMax int64) bool {
+	p := st.p
+	st.nodes++
+	if st.nodes > p.maxNodes {
+		st.capped = true
+		return false
+	}
+	if idx == p.nT {
+		if st.optimize {
+			if curMax < st.best {
+				st.best = curMax
+				st.bestBus = append([]int(nil), st.busOf...)
+			}
+			return false
+		}
+		return true
+	}
+	t := p.order[idx]
+	nW := len(p.ws)
+	// Global capacity prune: remaining demand must fit the remaining
+	// capacity across all buses.
+	for w := 0; w < nW; w++ {
+		if st.suffix[idx][w] > int64(st.nB)*p.ws[w]-st.total[w] {
+			return false
+		}
+	}
+	limit := st.used
+	if limit >= st.nB {
+		limit = st.nB - 1 // no new bus available
+	}
+	for b := 0; b <= limit; b++ {
+		if st.count[b] >= p.maxPerBus {
+			continue
+		}
+		// Conflict check against current members of bus b.
+		ok := true
+		for other, ob := range st.busOf {
+			if ob == b && p.conflict[t][other] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Bandwidth check (Eq. 4) on the reduced windows.
+		for w := 0; w < nW; w++ {
+			if st.load[b][w]+p.comm[t][w] > p.ws[w] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Binding objective bookkeeping and bound.
+		var added int64
+		if st.optimize {
+			for other, ob := range st.busOf {
+				if ob == b {
+					added += p.om.At(t, other)
+				}
+			}
+			if newOv := st.overlap[b] + added; newOv >= st.best {
+				continue // cannot improve the incumbent
+			}
+		}
+		// Place.
+		newBus := b == st.used
+		if newBus {
+			st.used++
+		}
+		st.busOf[t] = b
+		st.count[b]++
+		st.overlap[b] += added
+		for w := 0; w < nW; w++ {
+			st.load[b][w] += p.comm[t][w]
+			st.total[w] += p.comm[t][w]
+		}
+		next := curMax
+		if st.overlap[b] > next {
+			next = st.overlap[b]
+		}
+		if st.dfs(idx+1, next) {
+			return true // feasibility mode: keep the assignment in place
+		}
+		// Undo.
+		st.busOf[t] = -1
+		st.count[b]--
+		st.overlap[b] -= added
+		for w := 0; w < nW; w++ {
+			st.load[b][w] -= p.comm[t][w]
+			st.total[w] -= p.comm[t][w]
+		}
+		if newBus {
+			st.used--
+		}
+		if st.capped {
+			return false
+		}
+	}
+	return false
+}
+
+// greedyBinding builds a feasible binding by placing each target on the
+// admissible bus that increases its overlap the least (ties: lightest
+// bus). Returns ok=false if the greedy order dead-ends.
+func (p *assignProblem) greedyBinding(nB int) (busOf []int, obj int64, ok bool) {
+	nW := len(p.ws)
+	busOf = make([]int, p.nT)
+	for t := range busOf {
+		busOf[t] = -1
+	}
+	load := make([][]int64, nB)
+	for b := range load {
+		load[b] = make([]int64, nW)
+	}
+	count := make([]int, nB)
+	overlap := make([]int64, nB)
+	for _, t := range p.order {
+		bestBus, bestAdd, bestLoad := -1, int64(1)<<62, int64(1)<<62
+		for b := 0; b < nB; b++ {
+			if count[b] >= p.maxPerBus {
+				continue
+			}
+			okBus := true
+			for other, ob := range busOf {
+				if ob == b && p.conflict[t][other] {
+					okBus = false
+					break
+				}
+			}
+			if !okBus {
+				continue
+			}
+			for w := 0; w < nW; w++ {
+				if load[b][w]+p.comm[t][w] > p.ws[w] {
+					okBus = false
+					break
+				}
+			}
+			if !okBus {
+				continue
+			}
+			var added int64
+			for other, ob := range busOf {
+				if ob == b {
+					added += p.om.At(t, other)
+				}
+			}
+			var totalLoad int64
+			for w := 0; w < nW; w++ {
+				totalLoad += load[b][w]
+			}
+			if added < bestAdd || (added == bestAdd && totalLoad < bestLoad) {
+				bestBus, bestAdd, bestLoad = b, added, totalLoad
+			}
+		}
+		if bestBus == -1 {
+			return nil, 0, false
+		}
+		busOf[t] = bestBus
+		count[bestBus]++
+		overlap[bestBus] += bestAdd
+		for w := 0; w < nW; w++ {
+			load[bestBus][w] += p.comm[t][w]
+		}
+	}
+	for _, v := range overlap {
+		if v > obj {
+			obj = v
+		}
+	}
+	return busOf, obj, true
+}
+
+// MaxOverlapOfMatrix is MaxOverlapOf against a raw overlap matrix.
+func MaxOverlapOfMatrix(om *ds.SymMatrix, numBuses int, busOf []int) int64 {
+	per := make([]int64, numBuses)
+	for i := 0; i < om.N; i++ {
+		for j := i + 1; j < om.N; j++ {
+			if busOf[i] == busOf[j] {
+				per[busOf[i]] += om.At(i, j)
+			}
+		}
+	}
+	var best int64
+	for _, v := range per {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,102 @@
+package core
+
+import "math/bits"
+
+// maxClique returns the size of a maximum clique of the conflict graph
+// — an exact lower bound on the number of buses, since every member of
+// a clique needs its own bus. Worst-case exponential, but with bitmask
+// pruning it is instantaneous at STbus sizes (≤ 32 receivers, which is
+// also what lets the whole graph fit one uint64 mask per vertex).
+// Graphs larger than 64 vertices fall back to a greedy clique (still a
+// valid lower bound).
+func maxClique(conflict [][]bool) int {
+	n := len(conflict)
+	if n == 0 {
+		return 0
+	}
+	if n > 64 {
+		return greedyClique(conflict)
+	}
+	adj := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && conflict[i][j] {
+				adj[i] |= 1 << uint(j)
+			}
+		}
+	}
+	best := 0
+	// expand grows the current clique (size so far) over candidate set P.
+	var expand func(size int, p uint64)
+	expand = func(size int, p uint64) {
+		if size+bits.OnesCount64(p) <= best {
+			return // even taking all candidates cannot improve
+		}
+		if p == 0 {
+			if size > best {
+				best = size
+			}
+			return
+		}
+		// Pivot on the candidate with most candidate-neighbours; only
+		// branch on candidates outside its neighbourhood (standard
+		// Bron–Kerbosch pivoting restricted to maximum search).
+		pivot, bestDeg := -1, -1
+		for q := p; q != 0; q &= q - 1 {
+			v := bits.TrailingZeros64(q)
+			if d := bits.OnesCount64(adj[v] & p); d > bestDeg {
+				bestDeg = d
+				pivot = v
+			}
+		}
+		branch := p &^ adj[pivot]
+		for q := branch; q != 0; q &= q - 1 {
+			v := bits.TrailingZeros64(q)
+			expand(size+1, p&adj[v])
+			p &^= 1 << uint(v)
+			if size+bits.OnesCount64(p) <= best {
+				return
+			}
+		}
+	}
+	expand(0, (uint64(1)<<uint(n))-1)
+	return best
+}
+
+// greedyClique grows a clique greedily by descending degree — a valid
+// (possibly loose) lower bound for graphs too large for the exact
+// search.
+func greedyClique(conflict [][]bool) int {
+	n := len(conflict)
+	deg := make([]int, n)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+		for j := 0; j < n; j++ {
+			if i != j && conflict[i][j] {
+				deg[i]++
+			}
+		}
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if deg[order[b]] > deg[order[a]] {
+				order[a], order[b] = order[b], order[a]
+			}
+		}
+	}
+	var clique []int
+	for _, v := range order {
+		ok := true
+		for _, c := range clique {
+			if !conflict[v][c] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, v)
+		}
+	}
+	return len(clique)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func cliqueGraph(n int, edges [][2]int) [][]bool {
+	g := make([][]bool, n)
+	for i := range g {
+		g[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		g[e[0]][e[1]] = true
+		g[e[1]][e[0]] = true
+	}
+	return g
+}
+
+func TestMaxCliqueHandCases(t *testing.T) {
+	cases := []struct {
+		n     int
+		edges [][2]int
+		want  int
+	}{
+		{0, nil, 0},
+		{1, nil, 1},
+		{3, nil, 1},
+		{3, [][2]int{{0, 1}}, 2},
+		{3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, 3},
+		// Two triangles sharing a vertex.
+		{5, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}}, 3},
+		// 4-cycle: max clique 2.
+		{4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 2},
+		// K4 minus one edge: 3.
+		{4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {2, 3}}, 3},
+	}
+	for i, c := range cases {
+		if got := maxClique(cliqueGraph(c.n, c.edges)); got != c.want {
+			t.Errorf("case %d: maxClique = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestMaxCliqueComplete(t *testing.T) {
+	n := 12
+	g := make([][]bool, n)
+	for i := range g {
+		g[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			g[i][j] = i != j
+		}
+	}
+	if got := maxClique(g); got != n {
+		t.Errorf("K%d clique = %d", n, got)
+	}
+}
+
+// bruteClique enumerates all subsets (n <= 16).
+func bruteClique(g [][]bool) int {
+	n := len(g)
+	best := 0
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		var members []int
+		for v := 0; v < n && ok; v++ {
+			if mask&(1<<v) == 0 {
+				continue
+			}
+			for _, u := range members {
+				if !g[u][v] {
+					ok = false
+					break
+				}
+			}
+			members = append(members, v)
+		}
+		if ok && len(members) > best {
+			best = len(members)
+		}
+	}
+	return best
+}
+
+func TestMaxCliqueQuickAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(11)
+		g := make([][]bool, n)
+		for i := range g {
+			g[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(3) != 0 {
+					g[i][j], g[j][i] = true, true
+				}
+			}
+		}
+		want := bruteClique(g)
+		if got := maxClique(g); got != want {
+			t.Errorf("seed %d: maxClique = %d, brute force %d", seed, got, want)
+		}
+		if gr := greedyClique(g); gr > want {
+			t.Errorf("seed %d: greedy clique %d exceeds maximum %d", seed, gr, want)
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package core implements the paper's primary contribution: the
+// application-specific STbus crossbar design methodology (Sections
+// 4–6). Given the window-based traffic analysis of one interconnect
+// direction it
+//
+//  1. pre-processes the analysis into a conflict matrix — pairs of
+//     receivers whose windowed overlap exceeds a threshold, or whose
+//     real-time (critical) streams overlap, must not share a bus
+//     (paper Eq. 2);
+//  2. finds the minimum number of crossbar buses for which a binding
+//     satisfying the per-window bandwidth constraints (Eq. 4), the
+//     conflict constraints (Eq. 7) and the targets-per-bus cap (Eq. 8)
+//     exists, by binary search over the bus count with an exact
+//     feasibility check (the paper's MILP-1, Eq. 10); and
+//  3. binds receivers to the chosen buses minimizing the maximum total
+//     traffic overlap on any bus (the paper's MILP-2, Eq. 11), which
+//     minimizes average and peak packet latency.
+//
+// Two interchangeable solution engines are provided: a specialized
+// exact branch-and-bound over the assignment structure (the default,
+// see assign.go) and a literal MILP formulation of Eq. 3–9/11 solved
+// with internal/milp (see formulate.go), substituting for CPLEX.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Engine selects the solver used for feasibility and binding.
+type Engine int
+
+const (
+	// EngineBranchBound is the specialized exact assignment solver.
+	EngineBranchBound Engine = iota
+	// EngineMILP solves the paper's literal MILP formulation with the
+	// built-in branch-and-bound LP solver. Practical for small
+	// instances; used to cross-validate EngineBranchBound.
+	EngineMILP
+	// EngineAnneal finds the configuration exactly (branch and bound)
+	// but optimizes the binding by simulated annealing — a heuristic
+	// for instances near the STbus limit of 32 targets where the exact
+	// binding search may be slow.
+	EngineAnneal
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineBranchBound:
+		return "branch-and-bound"
+	case EngineMILP:
+		return "milp"
+	case EngineAnneal:
+		return "anneal"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// Options are the tunable parameters of the methodology (the design
+// knobs explored in paper Sections 7.2–7.4).
+type Options struct {
+	// OverlapThreshold is the pre-processing threshold as a fraction of
+	// the window size: receiver pairs whose overlap exceeds it in any
+	// window are forced onto different buses. Negative disables the
+	// pre-processing step. The useful range ends at 0.5 (Section 7.4).
+	OverlapThreshold float64
+	// SeparateCritical forces receivers with mutually overlapping
+	// critical (real-time) streams onto different buses (Section 7.3).
+	SeparateCritical bool
+	// MaxPerBus caps receivers per bus (paper maxtb, Eq. 8).
+	// Zero means no cap.
+	MaxPerBus int
+	// MinBuses / MaxBuses clamp the binary search range. Zero values
+	// default to the analytic lower bound and the receiver count.
+	MinBuses, MaxBuses int
+	// OptimizeBinding enables the second phase (MILP-2): minimize the
+	// maximum per-bus aggregate overlap. When false the first feasible
+	// binding is returned.
+	OptimizeBinding bool
+	// Engine selects the solver.
+	Engine Engine
+	// MaxNodes bounds the search effort per solve (0 = default).
+	MaxNodes int64
+}
+
+// DefaultOptions returns the parameter set used for the paper's main
+// experiments: 30% overlap threshold (the "conservative" setting of
+// Section 7.4), critical-stream separation, maxtb of 4 and optimal
+// binding.
+func DefaultOptions() Options {
+	return Options{
+		OverlapThreshold: 0.30,
+		SeparateCritical: true,
+		MaxPerBus:        4,
+		OptimizeBinding:  true,
+		Engine:           EngineBranchBound,
+	}
+}
+
+// Design is the output of the methodology for one interconnect
+// direction: a bus count and a receiver→bus binding.
+type Design struct {
+	// NumBuses is the minimum feasible crossbar size found.
+	NumBuses int
+	// BusOf[r] is the bus receiver r is bound to.
+	BusOf []int
+	// MaxBusOverlap is the achieved objective of the binding phase:
+	// the maximum over buses of the summed pairwise aggregate overlap
+	// (om_{i,j}) between receivers sharing the bus.
+	MaxBusOverlap int64
+	// Conflicts counts the receiver pairs separated by pre-processing.
+	Conflicts int
+	// SearchNodes counts solver nodes over all phases.
+	SearchNodes int64
+	// Engine records which solver produced the design.
+	Engine Engine
+}
+
+// ErrSearchLimit is returned when the solver exceeds its node budget
+// before establishing feasibility.
+var ErrSearchLimit = errors.New("core: search node limit exceeded")
+
+// DesignCrossbar runs the full methodology on one direction's analysis.
+func DesignCrossbar(a *trace.Analysis, opts Options) (*Design, error) {
+	if a == nil || a.NumReceivers == 0 {
+		return nil, errors.New("core: empty analysis")
+	}
+	if opts.OverlapThreshold > 1 {
+		return nil, fmt.Errorf("core: overlap threshold %v exceeds 1 (fraction of window size)", opts.OverlapThreshold)
+	}
+	nT := a.NumReceivers
+	maxPerBus := opts.MaxPerBus
+	if maxPerBus <= 0 || maxPerBus > nT {
+		maxPerBus = nT
+	}
+
+	conflicts := BuildConflicts(a, opts)
+	nConf := 0
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if conflicts[i][j] {
+				nConf++
+			}
+		}
+	}
+
+	prob := newAssignProblem(a, conflicts, maxPerBus, opts.MaxNodes)
+
+	lb := prob.lowerBound()
+	if opts.MinBuses > lb {
+		lb = opts.MinBuses
+	}
+	ub := nT
+	if opts.MaxBuses > 0 && opts.MaxBuses < ub {
+		ub = opts.MaxBuses
+	}
+	if lb > ub {
+		lb = ub
+	}
+
+	solve := func(k int, optimize bool) (*assignResult, error) {
+		switch {
+		case opts.Engine == EngineMILP:
+			return solveMILP(a, conflicts, k, maxPerBus, optimize)
+		case opts.Engine == EngineAnneal && optimize:
+			res, err := prob.solve(k, false)
+			if err != nil || !res.feasible {
+				return res, err
+			}
+			busOf, obj := AnnealBinding(a, conflicts, k, maxPerBus, res.busOf, AnnealParams{Seed: 1})
+			return &assignResult{feasible: true, busOf: busOf, maxOverlap: obj, nodes: res.nodes}, nil
+		default:
+			return prob.solve(k, optimize)
+		}
+	}
+
+	// Phase 1: binary search the minimum feasible bus count. Feasibility
+	// is monotone in the bus count (extra buses can stay unused), so
+	// binary search is exact (paper Section 6).
+	var firstFeasible *assignResult
+	var nodes int64
+	best := -1
+	for lo, hi := lb, ub; lo <= hi; {
+		mid := (lo + hi) / 2
+		res, err := solve(mid, false)
+		if err != nil {
+			return nil, err
+		}
+		nodes += res.nodes
+		if res.feasible {
+			best = mid
+			firstFeasible = res
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if best == -1 {
+		return nil, fmt.Errorf("core: no feasible crossbar with at most %d buses (conflicts or bus cap too tight)", ub)
+	}
+
+	result := firstFeasible
+	// Phase 2: optimal binding on the chosen configuration.
+	if opts.OptimizeBinding {
+		res, err := solve(best, true)
+		if err != nil {
+			return nil, err
+		}
+		nodes += res.nodes
+		if res.feasible {
+			result = res
+		}
+	}
+
+	return &Design{
+		NumBuses:      best,
+		BusOf:         result.busOf,
+		MaxBusOverlap: result.maxOverlap,
+		Conflicts:     nConf,
+		SearchNodes:   nodes,
+		Engine:        opts.Engine,
+	}, nil
+}
+
+// BuildConflicts computes the conflict matrix (paper Eq. 2) from the
+// windowed analysis: pairs whose overlap exceeds the threshold fraction
+// of the window size in any window, and — when SeparateCritical is set
+// — pairs whose critical streams overlap in any window.
+func BuildConflicts(a *trace.Analysis, opts Options) [][]bool {
+	nT := a.NumReceivers
+	conflicts := make([][]bool, nT)
+	for i := range conflicts {
+		conflicts[i] = make([]bool, nT)
+	}
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			c := false
+			for m := 0; m < a.NumWindows() && !c; m++ {
+				if opts.OverlapThreshold >= 0 {
+					limit := opts.OverlapThreshold * float64(a.WindowLen(m))
+					if float64(a.PairOverlap(i, j, m)) > limit {
+						c = true
+					}
+				}
+				if opts.SeparateCritical && a.PairCritOverlap(i, j, m) > 0 {
+					c = true
+				}
+			}
+			conflicts[i][j], conflicts[j][i] = c, c
+		}
+	}
+	return conflicts
+}
+
+// Validate checks that a design satisfies all constraints of the
+// analysis it was produced from; used by tests and by callers that
+// construct bindings manually.
+func (d *Design) Validate(a *trace.Analysis, opts Options) error {
+	nT := a.NumReceivers
+	if len(d.BusOf) != nT {
+		return fmt.Errorf("core: binding covers %d receivers, want %d", len(d.BusOf), nT)
+	}
+	maxPerBus := opts.MaxPerBus
+	if maxPerBus <= 0 || maxPerBus > nT {
+		maxPerBus = nT
+	}
+	count := make([]int, d.NumBuses)
+	for r, b := range d.BusOf {
+		if b < 0 || b >= d.NumBuses {
+			return fmt.Errorf("core: receiver %d on bus %d outside [0,%d)", r, b, d.NumBuses)
+		}
+		count[b]++
+	}
+	for b, c := range count {
+		if c > maxPerBus {
+			return fmt.Errorf("core: bus %d has %d receivers, cap is %d", b, c, maxPerBus)
+		}
+	}
+	// Per-window bandwidth (Eq. 4).
+	for m := 0; m < a.NumWindows(); m++ {
+		load := make([]int64, d.NumBuses)
+		for r, b := range d.BusOf {
+			load[b] += a.Comm.At(r, m)
+		}
+		for b, l := range load {
+			if l > a.WindowLen(m) {
+				return fmt.Errorf("core: bus %d overloaded in window %d: %d > %d", b, m, l, a.WindowLen(m))
+			}
+		}
+	}
+	// Conflicts (Eq. 7).
+	conflicts := BuildConflicts(a, opts)
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if conflicts[i][j] && d.BusOf[i] == d.BusOf[j] {
+				return fmt.Errorf("core: conflicting receivers %d and %d share bus %d", i, j, d.BusOf[i])
+			}
+		}
+	}
+	return nil
+}
+
+// MaxOverlapOf computes the binding-phase objective for an arbitrary
+// binding: the maximum per-bus sum of pairwise aggregate overlaps.
+func MaxOverlapOf(a *trace.Analysis, numBuses int, busOf []int) int64 {
+	per := make([]int64, numBuses)
+	for i := 0; i < a.NumReceivers; i++ {
+		for j := i + 1; j < a.NumReceivers; j++ {
+			if busOf[i] == busOf[j] {
+				per[busOf[i]] += a.OM.At(i, j)
+			}
+		}
+	}
+	var best int64
+	for _, v := range per {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

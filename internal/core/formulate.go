@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+	"repro/internal/milp"
+	"repro/internal/trace"
+)
+
+// Formulation is the paper's MILP (Eq. 3–9, plus Eq. 11 in binding
+// mode) over a fixed bus count, expressed for the internal solver.
+// Variable layout:
+//
+//	x_{i,k}  — binding variables (Definition 3), binary
+//	sb_{i,j,k}, s_{i,j} — sharing variables (Definition 4), binary,
+//	           materialized only for pairs that need them (conflict
+//	           pairs always; positive-overlap pairs in binding mode)
+//	maxov    — continuous objective variable (binding mode only)
+type Formulation struct {
+	Problem  *milp.Problem
+	NumBuses int
+	nT       int
+	// xIdx maps (receiver, bus) to the x variable index.
+	xIdx func(i, k int) int
+	// MaxovIdx is the maxov variable index, or -1 in feasibility mode.
+	MaxovIdx int
+}
+
+// Formulate builds the MILP for one candidate bus count. The windowed
+// bandwidth constraints use the Pareto-reduced window set (dominated
+// windows cannot be binding).
+func Formulate(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) *Formulation {
+	nT := a.NumReceivers
+	nB := numBuses
+	keep := reduceWindows(a)
+
+	// Pair selection: sb/s variables exist only where they constrain
+	// something.
+	type pair struct{ i, j int }
+	var pairs []pair
+	pairIdx := map[pair]int{}
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if conflicts[i][j] || (optimize && a.OM.At(i, j) > 0) {
+				pairIdx[pair{i, j}] = len(pairs)
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+
+	numX := nT * nB
+	numSB := len(pairs) * nB
+	numS := len(pairs)
+	numVars := numX + numSB + numS
+	maxovIdx := -1
+	if optimize {
+		maxovIdx = numVars
+		numVars++
+	}
+
+	x := func(i, k int) int { return i*nB + k }
+	sb := func(p, k int) int { return numX + p*nB + k }
+	sv := func(p int) int { return numX + numSB + p }
+
+	prob := &milp.Problem{
+		LP:     lp.Problem{NumVars: numVars},
+		Binary: make([]bool, numVars),
+	}
+	for v := 0; v < numX+numSB+numS; v++ {
+		prob.Binary[v] = true
+	}
+	if optimize {
+		obj := make([]float64, numVars)
+		obj[maxovIdx] = 1
+		prob.LP.Objective = obj
+	}
+
+	// Eq. 3: each receiver on exactly one bus.
+	for i := 0; i < nT; i++ {
+		terms := make([]lp.Term, nB)
+		for k := 0; k < nB; k++ {
+			terms[k] = lp.Term{Var: x(i, k), Coef: 1}
+		}
+		prob.LP.AddConstraint(lp.EQ, 1, terms...)
+	}
+
+	// Eq. 4: per-window per-bus bandwidth.
+	for _, m := range keep {
+		for k := 0; k < nB; k++ {
+			var terms []lp.Term
+			for i := 0; i < nT; i++ {
+				if c := a.Comm.At(i, m); c > 0 {
+					terms = append(terms, lp.Term{Var: x(i, k), Coef: float64(c)})
+				}
+			}
+			if len(terms) > 0 {
+				prob.LP.AddConstraint(lp.LE, float64(a.WindowLen(m)), terms...)
+			}
+		}
+	}
+
+	// Eq. 5: linearized sharing variables.
+	for p, pr := range pairs {
+		for k := 0; k < nB; k++ {
+			// x_ik + x_jk - sb_ijk <= 1
+			prob.LP.AddConstraint(lp.LE, 1,
+				lp.Term{Var: x(pr.i, k), Coef: 1},
+				lp.Term{Var: x(pr.j, k), Coef: 1},
+				lp.Term{Var: sb(p, k), Coef: -1})
+			// 0.5 x_ik + 0.5 x_jk - sb_ijk >= 0
+			prob.LP.AddConstraint(lp.GE, 0,
+				lp.Term{Var: x(pr.i, k), Coef: 0.5},
+				lp.Term{Var: x(pr.j, k), Coef: 0.5},
+				lp.Term{Var: sb(p, k), Coef: -1})
+		}
+	}
+
+	// Eq. 6: s_ij = Σ_k sb_ijk.
+	for p := range pairs {
+		terms := []lp.Term{{Var: sv(p), Coef: 1}}
+		for k := 0; k < nB; k++ {
+			terms = append(terms, lp.Term{Var: sb(p, k), Coef: -1})
+		}
+		prob.LP.AddConstraint(lp.EQ, 0, terms...)
+	}
+
+	// Eq. 7: conflicting pairs never share (c_ij × s_ij = 0).
+	for p, pr := range pairs {
+		if conflicts[pr.i][pr.j] {
+			prob.LP.AddConstraint(lp.EQ, 0, lp.Term{Var: sv(p), Coef: 1})
+		}
+	}
+
+	// Eq. 8: at most maxtb receivers per bus.
+	if maxPerBus < nT {
+		for k := 0; k < nB; k++ {
+			terms := make([]lp.Term, nT)
+			for i := 0; i < nT; i++ {
+				terms[i] = lp.Term{Var: x(i, k), Coef: 1}
+			}
+			prob.LP.AddConstraint(lp.LE, float64(maxPerBus), terms...)
+		}
+	}
+
+	// Eq. 11: per-bus aggregate overlap bounded by maxov. The paper
+	// sums om_{i,j} over ordered pairs; summing unordered pairs halves
+	// the objective without changing the argmin.
+	if optimize {
+		for k := 0; k < nB; k++ {
+			terms := []lp.Term{{Var: maxovIdx, Coef: -1}}
+			for p, pr := range pairs {
+				if om := a.OM.At(pr.i, pr.j); om > 0 {
+					terms = append(terms, lp.Term{Var: sb(p, k), Coef: float64(om)})
+				}
+			}
+			if len(terms) > 1 {
+				prob.LP.AddConstraint(lp.LE, 0, terms...)
+			}
+		}
+	}
+
+	// Symmetry breaking (buses are interchangeable): receiver i may
+	// only use buses 0..i. This is not in the paper but is sound and
+	// keeps the branch-and-bound tree small.
+	for i := 0; i < nT && i < nB; i++ {
+		for k := i + 1; k < nB; k++ {
+			prob.LP.AddConstraint(lp.EQ, 0, lp.Term{Var: x(i, k), Coef: 1})
+		}
+	}
+
+	return &Formulation{
+		Problem:  prob,
+		NumBuses: nB,
+		nT:       nT,
+		xIdx:     x,
+		MaxovIdx: maxovIdx,
+	}
+}
+
+// Extract reads the receiver→bus binding out of a MILP solution.
+func (f *Formulation) Extract(x []float64) ([]int, error) {
+	busOf := make([]int, f.nT)
+	for i := 0; i < f.nT; i++ {
+		busOf[i] = -1
+		for k := 0; k < f.NumBuses; k++ {
+			if x[f.xIdx(i, k)] > 0.5 {
+				if busOf[i] != -1 {
+					return nil, fmt.Errorf("core: receiver %d bound to two buses", i)
+				}
+				busOf[i] = k
+			}
+		}
+		if busOf[i] == -1 {
+			return nil, fmt.Errorf("core: receiver %d unbound in MILP solution", i)
+		}
+	}
+	return busOf, nil
+}
+
+// solveMILP runs the paper-literal formulation for one bus count.
+func solveMILP(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) (*assignResult, error) {
+	f := Formulate(a, conflicts, numBuses, maxPerBus, optimize)
+	sol, err := milp.Solve(f.Problem, milp.Options{FirstFeasible: !optimize})
+	if err != nil {
+		return nil, fmt.Errorf("core: MILP solve (%d buses): %w", numBuses, err)
+	}
+	res := &assignResult{nodes: int64(sol.Nodes)}
+	if sol.Status != lp.Optimal {
+		return res, nil // infeasible for this bus count
+	}
+	busOf, err := f.Extract(sol.X)
+	if err != nil {
+		return nil, err
+	}
+	res.feasible = true
+	res.busOf = busOf
+	res.maxOverlap = MaxOverlapOfMatrix(a.OM, numBuses, busOf)
+	return res, nil
+}

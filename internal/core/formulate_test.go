@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestFormulateStructure(t *testing.T) {
+	a := mkAnalysis(t, 3, 100, 100, []trace.Event{
+		{Start: 0, Len: 40, Receiver: 0},
+		{Start: 0, Len: 40, Receiver: 1},
+		{Start: 50, Len: 20, Receiver: 2},
+	})
+	conflicts := BuildConflicts(a, Options{OverlapThreshold: 0.1})
+	f := Formulate(a, conflicts, 2, 2, true)
+	if f.NumBuses != 2 {
+		t.Errorf("NumBuses = %d", f.NumBuses)
+	}
+	if f.MaxovIdx < 0 {
+		t.Error("binding formulation missing maxov variable")
+	}
+	// Feasibility mode has no objective variable.
+	ff := Formulate(a, conflicts, 2, 2, false)
+	if ff.MaxovIdx != -1 {
+		t.Error("feasibility formulation should have no maxov")
+	}
+	if ff.Problem.LP.Objective != nil {
+		t.Error("feasibility formulation should have no objective")
+	}
+}
+
+func TestFormulationExtractErrors(t *testing.T) {
+	a := mkAnalysis(t, 2, 100, 100, nil)
+	conflicts := BuildConflicts(a, Options{OverlapThreshold: -1})
+	f := Formulate(a, conflicts, 2, 2, false)
+	x := make([]float64, f.Problem.LP.NumVars)
+	// Receiver 0 unbound.
+	if _, err := f.Extract(x); err == nil {
+		t.Error("unbound receiver accepted")
+	}
+	// Receiver 0 double-bound.
+	x[0], x[1] = 1, 1 // x(0,0) and x(0,1)
+	if _, err := f.Extract(x); err == nil {
+		t.Error("double-bound receiver accepted")
+	}
+}
+
+func TestSolveMILPInfeasibleBusCount(t *testing.T) {
+	// Two receivers that must be separated; one bus is infeasible.
+	a := mkAnalysis(t, 2, 100, 100, []trace.Event{
+		{Start: 0, Len: 60, Receiver: 0},
+		{Start: 0, Len: 60, Receiver: 1},
+	})
+	conflicts := BuildConflicts(a, Options{OverlapThreshold: -1})
+	res, err := solveMILP(a, conflicts, 1, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.feasible {
+		t.Error("infeasible bus count reported feasible")
+	}
+}
+
+func TestMILPEngineFirstFeasibleMatchesValidate(t *testing.T) {
+	a := mkAnalysis(t, 4, 200, 50, []trace.Event{
+		{Start: 0, Len: 30, Receiver: 0},
+		{Start: 0, Len: 30, Receiver: 1},
+		{Start: 60, Len: 30, Receiver: 2},
+		{Start: 100, Len: 30, Receiver: 3},
+	})
+	opts := Options{OverlapThreshold: 0.5, MaxPerBus: 3, Engine: EngineMILP}
+	d, err := DesignCrossbar(a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(a, opts); err != nil {
+		t.Errorf("MILP design invalid: %v", err)
+	}
+	if d.Engine != EngineMILP {
+		t.Errorf("Engine = %v", d.Engine)
+	}
+}

@@ -1,0 +1,144 @@
+// Package cost provides analytic area and power estimates for STbus
+// crossbar instantiations. The paper motivates minimizing crossbar
+// size because "a smaller crossbar configuration results in reduction
+// in number of communication components used (such as buses, arbiters,
+// adapters, etc), design area and design power" (Section 1); this
+// package turns component counts and simulated bus activity into those
+// two figures of merit so the savings can be quantified per design.
+//
+// The models are deliberately simple, technology-normalized linear
+// models — the standard first-order approach for interconnect
+// estimation at this abstraction level: area is a weighted component
+// count (an arbiter grows with its port count), dynamic power is
+// proportional to bus-cycle activity and arbitration events, and
+// leakage is proportional to area. Absolute units are arbitrary
+// ("gate equivalents" and "energy units"); only ratios between
+// configurations are meaningful, mirroring how the paper reports
+// sizes as ratios.
+package cost
+
+import (
+	"errors"
+
+	"repro/internal/stbus"
+)
+
+// AreaModel weighs the structural components of a crossbar.
+type AreaModel struct {
+	// BusArea is the area of one bus (wiring + pipeline registers).
+	BusArea float64
+	// ArbiterPortArea is the per-requesting-port area of a bus arbiter
+	// (request/grant logic grows linearly in ports at this fidelity).
+	ArbiterPortArea float64
+	// AdapterArea is the area of one frequency/width adapter port.
+	AdapterArea float64
+}
+
+// DefaultAreaModel returns weights normalized so one bus ≈ 100 gate
+// equivalents, with arbiter and adapter costs in proportion to
+// published STbus component breakdowns (arbiters and adapters dominate
+// as the crossbar grows).
+func DefaultAreaModel() AreaModel {
+	return AreaModel{BusArea: 100, ArbiterPortArea: 12, AdapterArea: 35}
+}
+
+// PowerModel weighs activity into dynamic energy plus area-leakage.
+type PowerModel struct {
+	// BusCycleEnergy is the energy of one occupied bus cycle.
+	BusCycleEnergy float64
+	// GrantEnergy is the energy of one arbitration decision.
+	GrantEnergy float64
+	// LeakagePerArea is leakage power per area unit (charged per cycle).
+	LeakagePerArea float64
+}
+
+// DefaultPowerModel returns weights with dynamic transfer energy
+// dominant and a small leakage floor, so idle over-provisioned
+// crossbars still pay for their area.
+func DefaultPowerModel() PowerModel {
+	return PowerModel{BusCycleEnergy: 1.0, GrantEnergy: 0.4, LeakagePerArea: 0.0005}
+}
+
+// Area is an area estimate broken down by component class.
+type Area struct {
+	Buses    float64
+	Arbiters float64
+	Adapters float64
+}
+
+// Total returns the summed area.
+func (a Area) Total() float64 { return a.Buses + a.Arbiters + a.Adapters }
+
+// EstimateArea computes the area of one direction's crossbar.
+func (m AreaModel) EstimateArea(cfg *stbus.Config) Area {
+	comps := cfg.ComponentCount()
+	// Each arbiter arbitrates among all senders of the fabric.
+	arbiterPorts := comps.Arbiters * cfg.NumSenders
+	return Area{
+		Buses:    float64(comps.Buses) * m.BusArea,
+		Arbiters: float64(arbiterPorts) * m.ArbiterPortArea,
+		Adapters: float64(comps.Adapters) * m.AdapterArea,
+	}
+}
+
+// EstimatePairArea sums both directions of an instantiation.
+func (m AreaModel) EstimatePairArea(req, resp *stbus.Config) Area {
+	a, b := m.EstimateArea(req), m.EstimateArea(resp)
+	return Area{
+		Buses:    a.Buses + b.Buses,
+		Arbiters: a.Arbiters + b.Arbiters,
+		Adapters: a.Adapters + b.Adapters,
+	}
+}
+
+// Activity is the observed activity of one direction over a run, as
+// produced by the simulator.
+type Activity struct {
+	// BusyCycles[b] is the number of occupied cycles of bus b.
+	BusyCycles []int64
+	// Grants[b] is the number of transfers granted on bus b.
+	Grants []int64
+	// Horizon is the run length in cycles.
+	Horizon int64
+}
+
+// ActivityFromUtilization converts per-bus utilization fractions (the
+// simulator's reporting format) back to busy cycles.
+func ActivityFromUtilization(util []float64, grants []int64, horizon int64) Activity {
+	busy := make([]int64, len(util))
+	for i, u := range util {
+		busy[i] = int64(u * float64(horizon))
+	}
+	return Activity{BusyCycles: busy, Grants: grants, Horizon: horizon}
+}
+
+// Power is a power estimate split into dynamic and leakage parts,
+// normalized per cycle.
+type Power struct {
+	Dynamic float64
+	Leakage float64
+}
+
+// Total returns the summed per-cycle power.
+func (p Power) Total() float64 { return p.Dynamic + p.Leakage }
+
+// EstimatePower computes per-cycle power of one direction's crossbar
+// from its observed activity.
+func (m PowerModel) EstimatePower(cfg *stbus.Config, area Area, act Activity) (Power, error) {
+	if act.Horizon <= 0 {
+		return Power{}, errors.New("cost: activity horizon must be positive")
+	}
+	if len(act.BusyCycles) != cfg.NumBuses {
+		return Power{}, errors.New("cost: activity bus count mismatch")
+	}
+	var busy, grants int64
+	for _, c := range act.BusyCycles {
+		busy += c
+	}
+	for _, g := range act.Grants {
+		grants += g
+	}
+	dyn := (float64(busy)*m.BusCycleEnergy + float64(grants)*m.GrantEnergy) / float64(act.Horizon)
+	leak := area.Total() * m.LeakagePerArea
+	return Power{Dynamic: dyn, Leakage: leak}, nil
+}

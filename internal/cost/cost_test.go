@@ -1,0 +1,84 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/stbus"
+)
+
+func TestAreaScalesWithBuses(t *testing.T) {
+	m := DefaultAreaModel()
+	full := m.EstimateArea(stbus.Full(9, 12))
+	shared := m.EstimateArea(stbus.Shared(9, 12))
+	if full.Total() <= shared.Total() {
+		t.Errorf("full crossbar area %.0f not above shared %.0f", full.Total(), shared.Total())
+	}
+	if full.Buses != 12*m.BusArea {
+		t.Errorf("bus area = %.0f, want %.0f", full.Buses, 12*m.BusArea)
+	}
+	// Arbiters: one per bus, ports = senders.
+	if full.Arbiters != float64(12*9)*m.ArbiterPortArea {
+		t.Errorf("arbiter area = %.0f", full.Arbiters)
+	}
+}
+
+func TestEstimatePairArea(t *testing.T) {
+	m := DefaultAreaModel()
+	req, resp := stbus.Full(2, 3), stbus.Full(3, 2)
+	pair := m.EstimatePairArea(req, resp)
+	want := m.EstimateArea(req).Total() + m.EstimateArea(resp).Total()
+	if pair.Total() != want {
+		t.Errorf("pair area %.0f != sum %.0f", pair.Total(), want)
+	}
+}
+
+func TestPowerActivityProportional(t *testing.T) {
+	m := DefaultPowerModel()
+	am := DefaultAreaModel()
+	cfg := stbus.Shared(2, 2)
+	area := am.EstimateArea(cfg)
+	idle, err := m.EstimatePower(cfg, area, Activity{BusyCycles: []int64{0}, Grants: []int64{0}, Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy, err := m.EstimatePower(cfg, area, Activity{BusyCycles: []int64{800}, Grants: []int64{100}, Horizon: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Dynamic != 0 {
+		t.Errorf("idle dynamic power = %f, want 0", idle.Dynamic)
+	}
+	if idle.Leakage <= 0 {
+		t.Error("leakage must be positive for non-zero area")
+	}
+	wantDyn := (800*m.BusCycleEnergy + 100*m.GrantEnergy) / 1000
+	if busy.Dynamic != wantDyn {
+		t.Errorf("dynamic power = %f, want %f", busy.Dynamic, wantDyn)
+	}
+	if busy.Total() <= idle.Total() {
+		t.Error("busy power not above idle power")
+	}
+}
+
+func TestPowerErrors(t *testing.T) {
+	m := DefaultPowerModel()
+	am := DefaultAreaModel()
+	cfg := stbus.Shared(2, 2)
+	area := am.EstimateArea(cfg)
+	if _, err := m.EstimatePower(cfg, area, Activity{BusyCycles: []int64{1}, Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := m.EstimatePower(cfg, area, Activity{BusyCycles: []int64{1, 2}, Horizon: 10}); err == nil {
+		t.Error("bus count mismatch accepted")
+	}
+}
+
+func TestActivityFromUtilization(t *testing.T) {
+	act := ActivityFromUtilization([]float64{0.5, 0.25}, []int64{3, 4}, 1000)
+	if act.BusyCycles[0] != 500 || act.BusyCycles[1] != 250 {
+		t.Errorf("busy cycles = %v", act.BusyCycles)
+	}
+	if act.Horizon != 1000 || act.Grants[1] != 4 {
+		t.Error("fields not carried through")
+	}
+}

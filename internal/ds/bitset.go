@@ -1,0 +1,75 @@
+package ds
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers, used to
+// track assignment state during branch-and-bound search.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity the set was created with.
+func (b *Bitset) Cap() int { return b.n }
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) { b.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) { b.words[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether i is in the set.
+func (b *Bitset) Has(i int) bool { return b.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Clone returns a deep copy of the set.
+func (b *Bitset) Clone() *Bitset {
+	out := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(out.words, b.words)
+	return out
+}
+
+// Reset removes all elements.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// IntersectsWith reports whether the two sets share any element.
+func (b *Bitset) IntersectsWith(other *Bitset) bool {
+	n := len(b.words)
+	if len(other.words) < n {
+		n = len(other.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.words[i]&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every element in ascending order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			fn(wi*64 + bit)
+			w &= w - 1
+		}
+	}
+}

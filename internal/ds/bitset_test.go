@@ -1,0 +1,118 @@
+package ds
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Cap() != 130 {
+		t.Errorf("Cap = %d, want 130", b.Cap())
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		b.Set(i)
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		if !b.Has(i) {
+			t.Errorf("Has(%d) = false after Set", i)
+		}
+	}
+	if b.Has(1) || b.Has(128) {
+		t.Error("Has reports elements never set")
+	}
+	if got := b.Count(); got != 5 {
+		t.Errorf("Count = %d, want 5", got)
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Error("Has(64) = true after Clear")
+	}
+	if got := b.Count(); got != 4 {
+		t.Errorf("Count after Clear = %d, want 4", got)
+	}
+}
+
+func TestBitsetCloneIndependent(t *testing.T) {
+	a := NewBitset(10)
+	a.Set(3)
+	b := a.Clone()
+	b.Set(7)
+	if a.Has(7) {
+		t.Error("Clone shares storage with original")
+	}
+	if !b.Has(3) {
+		t.Error("Clone lost element 3")
+	}
+}
+
+func TestBitsetReset(t *testing.T) {
+	b := NewBitset(100)
+	for i := 0; i < 100; i += 3 {
+		b.Set(i)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Errorf("Count after Reset = %d, want 0", b.Count())
+	}
+}
+
+func TestBitsetIntersectsWith(t *testing.T) {
+	a, b := NewBitset(200), NewBitset(200)
+	a.Set(150)
+	b.Set(151)
+	if a.IntersectsWith(b) {
+		t.Error("disjoint sets report intersection")
+	}
+	b.Set(150)
+	if !a.IntersectsWith(b) {
+		t.Error("intersecting sets report disjoint")
+	}
+}
+
+func TestBitsetForEachOrdered(t *testing.T) {
+	b := NewBitset(300)
+	want := []int{2, 64, 65, 200, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := NewBitset(256)
+		ref := map[int]bool{}
+		for _, op := range ops {
+			i := int(op % 256)
+			if op&0x8000 != 0 {
+				b.Clear(i)
+				delete(ref, i)
+			} else {
+				b.Set(i)
+				ref[i] = true
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < 256; i++ {
+			if b.Has(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+package ds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalLen(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want int64
+	}{
+		{Interval{0, 10}, 10},
+		{Interval{5, 5}, 0},
+		{Interval{7, 3}, 0},
+		{Interval{-4, 4}, 8},
+	}
+	for _, c := range cases {
+		if got := c.iv.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want int64
+	}{
+		{Interval{0, 10}, Interval{5, 15}, 5},
+		{Interval{0, 10}, Interval{10, 20}, 0},
+		{Interval{0, 10}, Interval{2, 4}, 2},
+		{Interval{3, 7}, Interval{0, 20}, 4},
+		{Interval{0, 5}, Interval{8, 9}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Intersect(c.b).Len(); got != c.want {
+			t.Errorf("%v∩%v len = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Intersect(c.a).Len(); got != c.want {
+			t.Errorf("intersect not symmetric for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalSetAddMerges(t *testing.T) {
+	s := NewIntervalSet()
+	s.Add(Interval{0, 5})
+	s.Add(Interval{10, 15})
+	s.Add(Interval{4, 11}) // bridges both
+	if s.Count() != 1 {
+		t.Fatalf("expected 1 merged interval, got %d: %v", s.Count(), s.Intervals())
+	}
+	if got := s.Len(); got != 15 {
+		t.Errorf("Len = %d, want 15", got)
+	}
+}
+
+func TestIntervalSetAddAdjacent(t *testing.T) {
+	s := NewIntervalSet()
+	s.Add(Interval{0, 5})
+	s.Add(Interval{5, 10}) // adjacent: should merge
+	if s.Count() != 1 {
+		t.Fatalf("adjacent intervals not merged: %v", s.Intervals())
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %d, want 10", s.Len())
+	}
+}
+
+func TestIntervalSetAppendFastPath(t *testing.T) {
+	s := NewIntervalSet()
+	for i := int64(0); i < 100; i++ {
+		s.Add(Interval{i * 10, i*10 + 3})
+	}
+	if s.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count())
+	}
+	if s.Len() != 300 {
+		t.Errorf("Len = %d, want 300", s.Len())
+	}
+}
+
+func TestIntervalSetEmptyAddIgnored(t *testing.T) {
+	s := NewIntervalSet()
+	s.Add(Interval{5, 5})
+	s.Add(Interval{9, 2})
+	if s.Count() != 0 || s.Len() != 0 {
+		t.Errorf("empty adds should be ignored, got %v", s.Intervals())
+	}
+}
+
+func TestIntervalSetClipLen(t *testing.T) {
+	s := NewIntervalSet(Interval{0, 10}, Interval{20, 30}, Interval{40, 50})
+	cases := []struct {
+		lo, hi, want int64
+	}{
+		{0, 60, 30},
+		{5, 25, 10},
+		{10, 20, 0},
+		{25, 45, 10},
+		{-10, 0, 0},
+		{50, 100, 0},
+		{22, 28, 6},
+	}
+	for _, c := range cases {
+		if got := s.ClipLen(c.lo, c.hi); got != c.want {
+			t.Errorf("ClipLen(%d,%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestIntervalSetIntersectLen(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 10}, Interval{20, 30})
+	b := NewIntervalSet(Interval{5, 25})
+	if got := a.IntersectLen(b); got != 10 {
+		t.Errorf("IntersectLen = %d, want 10", got)
+	}
+	if got := b.IntersectLen(a); got != 10 {
+		t.Errorf("IntersectLen not symmetric: %d", got)
+	}
+	empty := NewIntervalSet()
+	if got := a.IntersectLen(empty); got != 0 {
+		t.Errorf("IntersectLen with empty = %d, want 0", got)
+	}
+}
+
+func TestIntervalSetIntersection(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 10}, Interval{20, 30})
+	b := NewIntervalSet(Interval{5, 25}, Interval{28, 40})
+	got := a.Intersection(b)
+	want := []Interval{{5, 10}, {20, 25}, {28, 30}}
+	if got.Count() != len(want) {
+		t.Fatalf("Intersection = %v, want %v", got.Intervals(), want)
+	}
+	for i, iv := range got.Intervals() {
+		if iv != want[i] {
+			t.Errorf("Intersection[%d] = %v, want %v", i, iv, want[i])
+		}
+	}
+	if got.Len() != a.IntersectLen(b) {
+		t.Errorf("Intersection.Len=%d disagrees with IntersectLen=%d", got.Len(), a.IntersectLen(b))
+	}
+}
+
+func TestIntervalSetContains(t *testing.T) {
+	s := NewIntervalSet(Interval{10, 20})
+	for _, c := range []struct {
+		cy   int64
+		want bool
+	}{{9, false}, {10, true}, {19, true}, {20, false}} {
+		if got := s.Contains(c.cy); got != c.want {
+			t.Errorf("Contains(%d) = %v, want %v", c.cy, got, c.want)
+		}
+	}
+}
+
+func TestIntervalSetBounds(t *testing.T) {
+	if b := NewIntervalSet().Bounds(); !b.Empty() {
+		t.Errorf("empty set bounds = %v, want empty", b)
+	}
+	s := NewIntervalSet(Interval{5, 10}, Interval{50, 60})
+	if b := s.Bounds(); b != (Interval{5, 60}) {
+		t.Errorf("Bounds = %v, want [5,60)", b)
+	}
+}
+
+// reference is a brute-force cycle-set model used to validate IntervalSet.
+type reference map[int64]bool
+
+func (r reference) add(iv Interval) {
+	for c := iv.Start; c < iv.End; c++ {
+		r[c] = true
+	}
+}
+
+func (r reference) len() int64 { return int64(len(r)) }
+
+func (r reference) intersectLen(o reference) int64 {
+	var n int64
+	for c := range r {
+		if o[c] {
+			n++
+		}
+	}
+	return n
+}
+
+// randomSet builds a matching (IntervalSet, reference) pair.
+func randomSet(rng *rand.Rand) (*IntervalSet, reference) {
+	s := NewIntervalSet()
+	ref := reference{}
+	n := rng.Intn(30)
+	for i := 0; i < n; i++ {
+		start := int64(rng.Intn(200))
+		iv := Interval{start, start + int64(rng.Intn(20))}
+		s.Add(iv)
+		ref.add(iv)
+	}
+	return s, ref
+}
+
+func TestIntervalSetQuickAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, refA := randomSet(r)
+		b, refB := randomSet(r)
+		if a.Len() != refA.len() {
+			t.Logf("Len mismatch: %d vs %d", a.Len(), refA.len())
+			return false
+		}
+		if a.IntersectLen(b) != refA.intersectLen(refB) {
+			t.Logf("IntersectLen mismatch")
+			return false
+		}
+		// Invariants: sorted, disjoint, non-adjacent.
+		ivs := a.Intervals()
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i-1].End >= ivs[i].Start {
+				t.Logf("intervals not disjoint/sorted: %v", ivs)
+				return false
+			}
+		}
+		// ClipLen agrees with reference on random windows.
+		lo := int64(rng.Intn(250)) - 10
+		hi := lo + int64(rng.Intn(100))
+		var want int64
+		for c := lo; c < hi; c++ {
+			if refA[c] {
+				want++
+			}
+		}
+		if a.ClipLen(lo, hi) != want {
+			t.Logf("ClipLen(%d,%d) mismatch: %d vs %d", lo, hi, a.ClipLen(lo, hi), want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetClone(t *testing.T) {
+	a := NewIntervalSet(Interval{0, 10})
+	b := a.Clone()
+	b.Add(Interval{100, 110})
+	if a.Len() != 10 {
+		t.Errorf("Clone is not independent: original Len=%d", a.Len())
+	}
+	if b.Len() != 20 {
+		t.Errorf("clone Len=%d, want 20", b.Len())
+	}
+}

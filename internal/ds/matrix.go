@@ -1,0 +1,125 @@
+package ds
+
+import "fmt"
+
+// Int64Matrix is a dense rows×cols matrix of int64, stored row-major.
+// It backs the per-window communication and overlap tables of the
+// traffic analysis.
+type Int64Matrix struct {
+	Rows, Cols int
+	data       []int64
+}
+
+// NewInt64Matrix allocates a zeroed rows×cols matrix.
+func NewInt64Matrix(rows, cols int) *Int64Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("ds: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Int64Matrix{Rows: rows, Cols: cols, data: make([]int64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Int64Matrix) At(r, c int) int64 { return m.data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Int64Matrix) Set(r, c int, v int64) { m.data[r*m.Cols+c] = v }
+
+// AddAt adds v to the element at (r, c).
+func (m *Int64Matrix) AddAt(r, c int, v int64) { m.data[r*m.Cols+c] += v }
+
+// Row returns a view of row r. The slice aliases the matrix storage.
+func (m *Int64Matrix) Row(r int) []int64 { return m.data[r*m.Cols : (r+1)*m.Cols] }
+
+// Clone returns a deep copy of the matrix.
+func (m *Int64Matrix) Clone() *Int64Matrix {
+	out := NewInt64Matrix(m.Rows, m.Cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// MaxRowSum returns the largest row sum and the row achieving it.
+func (m *Int64Matrix) MaxRowSum() (row int, sum int64) {
+	row = -1
+	for r := 0; r < m.Rows; r++ {
+		var s int64
+		for _, v := range m.Row(r) {
+			s += v
+		}
+		if row == -1 || s > sum {
+			row, sum = r, s
+		}
+	}
+	return row, sum
+}
+
+// SymMatrix is a symmetric n×n matrix of int64 with a zero diagonal,
+// storing only the strict upper triangle. It backs the aggregate
+// overlap matrix OM of the paper (Eq. 1).
+type SymMatrix struct {
+	N    int
+	data []int64
+}
+
+// NewSymMatrix allocates a zeroed n×n symmetric matrix.
+func NewSymMatrix(n int) *SymMatrix {
+	return &SymMatrix{N: n, data: make([]int64, n*(n-1)/2)}
+}
+
+func (m *SymMatrix) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Strict upper triangle, row-major: row i holds N-1-i entries.
+	return i*(2*m.N-i-1)/2 + (j - i - 1)
+}
+
+// At returns the element at (i, j); the diagonal is always zero.
+func (m *SymMatrix) At(i, j int) int64 {
+	if i == j {
+		return 0
+	}
+	return m.data[m.index(i, j)]
+}
+
+// Set stores v at (i, j) and (j, i). Setting the diagonal panics.
+func (m *SymMatrix) Set(i, j int, v int64) {
+	if i == j {
+		panic("ds: SymMatrix diagonal is fixed at zero")
+	}
+	m.data[m.index(i, j)] = v
+}
+
+// AddAt adds v at (i, j)/(j, i).
+func (m *SymMatrix) AddAt(i, j int, v int64) {
+	if i == j {
+		panic("ds: SymMatrix diagonal is fixed at zero")
+	}
+	m.data[m.index(i, j)] += v
+}
+
+// Clone returns a deep copy.
+func (m *SymMatrix) Clone() *SymMatrix {
+	out := NewSymMatrix(m.N)
+	copy(out.data, m.data)
+	return out
+}
+
+// Max returns the largest element value.
+func (m *SymMatrix) Max() int64 {
+	var best int64
+	for _, v := range m.data {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Total returns the sum over all unordered pairs.
+func (m *SymMatrix) Total() int64 {
+	var total int64
+	for _, v := range m.data {
+		total += v
+	}
+	return total
+}

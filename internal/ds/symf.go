@@ -1,0 +1,47 @@
+package ds
+
+// SymMatrixF is the float64 counterpart of SymMatrix: a symmetric n×n
+// matrix with a zero diagonal storing only the strict upper triangle.
+type SymMatrixF struct {
+	N    int
+	data []float64
+}
+
+// NewSymMatrixF allocates a zeroed n×n symmetric float matrix.
+func NewSymMatrixF(n int) *SymMatrixF {
+	return &SymMatrixF{N: n, data: make([]float64, n*(n-1)/2)}
+}
+
+func (m *SymMatrixF) index(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*(2*m.N-i-1)/2 + (j - i - 1)
+}
+
+// At returns the element at (i, j); the diagonal is always zero.
+func (m *SymMatrixF) At(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return m.data[m.index(i, j)]
+}
+
+// Set stores v at (i, j) and (j, i). Setting the diagonal panics.
+func (m *SymMatrixF) Set(i, j int, v float64) {
+	if i == j {
+		panic("ds: SymMatrixF diagonal is fixed at zero")
+	}
+	m.data[m.index(i, j)] = v
+}
+
+// Max returns the largest element value.
+func (m *SymMatrixF) Max() float64 {
+	var best float64
+	for _, v := range m.data {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

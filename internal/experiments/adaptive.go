@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// AdaptiveRow compares fixed-size and adaptive (variable-size) window
+// analysis on one workload — the paper's future-work extension
+// ("variable simulation window sizes ... for guaranteeing QoS").
+type AdaptiveRow struct {
+	App          string
+	FixedWindows int
+	FixedBuses   int
+	FixedAvgLat  float64
+	AdaptWindows int
+	AdaptBuses   int
+	AdaptAvgLat  float64
+	FullAvgLat   float64
+}
+
+// Adaptive runs the fixed-vs-adaptive window comparison on the
+// synthetic benchmark (whose drifting bursts are the stress case for
+// fixed window alignment) and on Mat2.
+func Adaptive(seed int64) ([]AdaptiveRow, error) {
+	apps := []*workloads.App{workloads.Synthetic(seed, 1000), workloads.Mat2(seed)}
+	var rows []AdaptiveRow
+	for _, app := range apps {
+		run, err := Prepare(app)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.DefaultOptions()
+		if app.Name == "Synth" {
+			opts.MaxPerBus = 0
+			opts.OverlapThreshold = -1
+		}
+
+		// Fixed windows at the app's recommended size (the Figure 5
+		// operating point).
+		fixedPair, err := run.Design(opts)
+		if err != nil {
+			return nil, err
+		}
+		fixedRes, err := run.Validate(fixedPair)
+		if err != nil {
+			return nil, err
+		}
+
+		// Adaptive windows between 1× and 4× the recommended size,
+		// aligned to burst onsets.
+		aReq, err := trace.AnalyzeAdaptive(run.Full.ReqTrace, app.WindowSize, 4*app.WindowSize)
+		if err != nil {
+			return nil, err
+		}
+		aResp, err := trace.AnalyzeAdaptive(run.Full.RespTrace, app.WindowSize, 4*app.WindowSize)
+		if err != nil {
+			return nil, err
+		}
+		dReq, err := core.DesignCrossbar(aReq, opts)
+		if err != nil {
+			return nil, err
+		}
+		dResp, err := core.DesignCrossbar(aResp, opts)
+		if err != nil {
+			return nil, err
+		}
+		adaptPair := &DesignPair{Req: dReq, Resp: dResp}
+		adaptRes, err := run.Validate(adaptPair)
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, AdaptiveRow{
+			App:          app.Name,
+			FixedWindows: run.AReq.NumWindows(),
+			FixedBuses:   fixedPair.TotalBuses(),
+			FixedAvgLat:  fixedRes.Latency.SummarizePacket().Avg,
+			AdaptWindows: aReq.NumWindows(),
+			AdaptBuses:   adaptPair.TotalBuses(),
+			AdaptAvgLat:  adaptRes.Latency.SummarizePacket().Avg,
+			FullAvgLat:   run.Full.Latency.SummarizePacket().Avg,
+		})
+	}
+	return rows, nil
+}
+
+// AdaptiveReport renders the comparison.
+func AdaptiveReport(rows []AdaptiveRow) *report.Table {
+	t := report.NewTable("Extension (paper future work): Fixed vs Adaptive Analysis Windows",
+		"Application", "Fixed wins", "Fixed buses", "Fixed avg lat", "Adaptive wins", "Adaptive buses", "Adaptive avg lat", "Full avg lat")
+	for _, r := range rows {
+		t.AddRow(r.App, r.FixedWindows, r.FixedBuses, r.FixedAvgLat, r.AdaptWindows, r.AdaptBuses, r.AdaptAvgLat, r.FullAvgLat)
+	}
+	return t
+}

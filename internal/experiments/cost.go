@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stbus"
+	"repro/internal/workloads"
+)
+
+// CostRow quantifies the area and power consequences of the designed
+// crossbar versus the full crossbar for one application — the "design
+// area and design power" savings the paper's introduction motivates
+// (an extension artifact; the paper itself reports only bus counts).
+type CostRow struct {
+	App          string
+	FullArea     float64
+	DesignedArea float64
+	AreaRatio    float64 // full / designed
+	FullPower    float64
+	DesignPower  float64
+	PowerRatio   float64 // full / designed
+	LatencyCost  float64 // designed avg packet latency / full's
+}
+
+// Cost runs the area/power comparison over the five benchmarks.
+func Cost(seed int64) ([]CostRow, error) {
+	areaModel := cost.DefaultAreaModel()
+	powerModel := cost.DefaultPowerModel()
+	var rows []CostRow
+	for _, app := range workloads.All(seed) {
+		run, err := Prepare(app)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := run.Design(core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		designed, err := run.Validate(pair)
+		if err != nil {
+			return nil, err
+		}
+
+		fullReq, fullResp := app.FullConfig()
+		desReq := stbus.Partial(app.NumInitiators, pair.Req.BusOf)
+		desResp := stbus.Partial(app.NumTargets, pair.Resp.BusOf)
+
+		fullArea := areaModel.EstimatePairArea(fullReq, fullResp)
+		desArea := areaModel.EstimatePairArea(desReq, desResp)
+
+		fullPower, err := pairPower(powerModel, areaModel, fullReq, fullResp, run.Full)
+		if err != nil {
+			return nil, err
+		}
+		desPower, err := pairPower(powerModel, areaModel, desReq, desResp, designed)
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, CostRow{
+			App:          app.Name,
+			FullArea:     fullArea.Total(),
+			DesignedArea: desArea.Total(),
+			AreaRatio:    fullArea.Total() / desArea.Total(),
+			FullPower:    fullPower,
+			DesignPower:  desPower,
+			PowerRatio:   fullPower / desPower,
+			LatencyCost:  designed.Latency.SummarizePacket().Avg / run.Full.Latency.SummarizePacket().Avg,
+		})
+	}
+	return rows, nil
+}
+
+// pairPower sums both directions' per-cycle power for one run.
+func pairPower(pm cost.PowerModel, am cost.AreaModel, req, resp *stbus.Config, res *sim.Result) (float64, error) {
+	reqPower, err := pm.EstimatePower(req, am.EstimateArea(req),
+		cost.ActivityFromUtilization(res.ReqUtil, res.ReqGrants, res.EndCycle))
+	if err != nil {
+		return 0, err
+	}
+	respPower, err := pm.EstimatePower(resp, am.EstimateArea(resp),
+		cost.ActivityFromUtilization(res.RespUtil, res.RespGrants, res.EndCycle))
+	if err != nil {
+		return 0, err
+	}
+	return reqPower.Total() + respPower.Total(), nil
+}
+
+// CostReport renders the cost comparison.
+func CostReport(rows []CostRow) *report.Table {
+	t := report.NewTable("Extension: Area and Power of Designed vs Full Crossbars",
+		"Application", "Area full", "Area designed", "Area ratio", "Power full", "Power designed", "Power ratio", "Latency cost")
+	for _, r := range rows {
+		t.AddRow(r.App, r.FullArea, r.DesignedArea, r.AreaRatio, r.FullPower, r.DesignPower, r.PowerRatio, r.LatencyCost)
+	}
+	return t
+}

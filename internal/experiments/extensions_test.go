@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCostShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	rows, err := Cost(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.AreaRatio <= 1 {
+			t.Errorf("%s: designed crossbar not smaller in area (ratio %.2f)", r.App, r.AreaRatio)
+		}
+		if r.PowerRatio <= 1 {
+			t.Errorf("%s: designed crossbar not cheaper in power (ratio %.2f)", r.App, r.PowerRatio)
+		}
+		// Area savings track the bus-count savings band of Table 2.
+		if r.AreaRatio > 4 {
+			t.Errorf("%s: area ratio %.2f implausibly high", r.App, r.AreaRatio)
+		}
+		if r.LatencyCost < 1 || r.LatencyCost > 2.2 {
+			t.Errorf("%s: latency cost %.2f outside [1, 2.2]", r.App, r.LatencyCost)
+		}
+	}
+	if !strings.Contains(CostReport(rows).String(), "Mat2") {
+		t.Error("report missing Mat2 row")
+	}
+}
+
+func TestAdaptiveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	rows, err := Adaptive(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.AdaptWindows >= r.FixedWindows {
+			t.Errorf("%s: adaptive windows %d not fewer than fixed %d",
+				r.App, r.AdaptWindows, r.FixedWindows)
+		}
+		if r.AdaptBuses > r.FixedBuses {
+			t.Errorf("%s: adaptive design larger (%d) than fixed (%d)",
+				r.App, r.AdaptBuses, r.FixedBuses)
+		}
+		// Validated latency must remain sane (within 2x of the fixed
+		// design).
+		if r.AdaptAvgLat > 2*r.FixedAvgLat {
+			t.Errorf("%s: adaptive latency %.2f blew past fixed %.2f",
+				r.App, r.AdaptAvgLat, r.FixedAvgLat)
+		}
+	}
+	if !strings.Contains(AdaptiveReport(rows).String(), "Synth") {
+		t.Error("report missing Synth row")
+	}
+}
+
+func TestRobustnessStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	rows, err := Robustness([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Buses) != 3 {
+			t.Errorf("%s: %d seed results, want 3", r.App, len(r.Buses))
+		}
+		// The headline claim: Table 2's counts are seed-independent.
+		if !r.Stable {
+			t.Errorf("%s: bus counts vary across seeds: %v", r.App, r.Buses)
+		}
+	}
+	if !strings.Contains(RobustnessReport(rows).String(), "true") {
+		t.Error("report missing stability flag")
+	}
+}
+
+func TestMultiUseShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite in -short mode")
+	}
+	r, err := MultiUse(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The merged design must not grow beyond the per-mode designs'
+	// envelope (cap-driven here: all three land on 6 buses).
+	if r.BusesMerged > r.BusesA+r.BusesB {
+		t.Errorf("merged design exploded: %d buses", r.BusesMerged)
+	}
+	// On each mode, the merged design must match the mode's own design
+	// (within 10%) and never be worse than the wrong-mode design.
+	if r.MergedA > 1.1*r.AOnA {
+		t.Errorf("merged on A = %.2f, mode-A design = %.2f", r.MergedA, r.AOnA)
+	}
+	if r.MergedB > 1.1*r.BOnB {
+		t.Errorf("merged on B = %.2f, mode-B design = %.2f", r.MergedB, r.BOnB)
+	}
+	if r.MergedA > r.BOnA {
+		t.Errorf("merged on A (%.2f) worse than B-only design (%.2f)", r.MergedA, r.BOnA)
+	}
+	if !strings.Contains(MultiUseReport(r).String(), "merged") {
+		t.Error("report missing merged row")
+	}
+}

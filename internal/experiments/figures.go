@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// sweepOptions are the designer settings used for the synthetic
+// sweeps: no targets-per-bus cap and (for the window sweeps) no
+// overlap pre-processing, so the plotted size isolates the effect of
+// the parameter being swept.
+func sweepOptions() core.Options {
+	opts := core.DefaultOptions()
+	opts.MaxPerBus = 0
+	opts.OverlapThreshold = -1
+	return opts
+}
+
+// Fig5aPoint is one point of Figure 5(a): initiator→target crossbar
+// size for one analysis window size on the synthetic benchmark.
+type Fig5aPoint struct {
+	WindowSize int64
+	Buses      int
+}
+
+// Fig5aWindowSizes are the swept window sizes in cycles, mirroring the
+// paper's x axis (200 cycles … the whole simulation).
+var Fig5aWindowSizes = []int64{200, 300, 400, 750, 1000, 2000, 3000, 4000, 5000, 20000, 75000, 750000}
+
+// Figure5a reproduces Figure 5(a): the designed crossbar size as the
+// analysis window grows from far below the typical burst size (≈ full
+// crossbar) through 1–4 bursts (≈ 25–40% of full) to the whole trace
+// (the conservative average-flow extreme).
+func Figure5a(seed int64) ([]Fig5aPoint, error) {
+	app := workloads.Synthetic(seed, 1000)
+	run, err := Prepare(app)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig5aPoint
+	for _, ws := range Fig5aWindowSizes {
+		if ws > app.Horizon {
+			ws = app.Horizon
+		}
+		a, err := trace.Analyze(run.Full.ReqTrace, ws)
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.DesignCrossbar(a, sweepOptions())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 5a at ws=%d: %w", ws, err)
+		}
+		points = append(points, Fig5aPoint{WindowSize: ws, Buses: d.NumBuses})
+	}
+	return points, nil
+}
+
+// Figure5aReport renders Figure 5(a).
+func Figure5aReport(points []Fig5aPoint) *report.Series {
+	s := &report.Series{
+		Title:  "Figure 5(a): Initiator-Target crossbar size vs window size (Synth-20, burst ~1000 cy)",
+		XLabel: "window (cy)",
+		YLabel: "buses",
+	}
+	for _, p := range points {
+		s.Add(float64(p.WindowSize), float64(p.Buses))
+	}
+	return s
+}
+
+// Fig5bPoint is one point of Figure 5(b): the smallest acceptable
+// analysis window for one typical burst size.
+type Fig5bPoint struct {
+	BurstSize    int64
+	AcceptableWS int64
+}
+
+// Fig5bBurstSizes are the swept nominal burst sizes (cycles).
+var Fig5bBurstSizes = []int64{1000, 2000, 3000, 4000, 5000}
+
+// fig5bSizeTarget is the "acceptable design" size used to define the
+// acceptable window: at most 40% of the full crossbar, consistent with
+// the paper's observation that windows of 1–4 bursts give crossbars
+// around a quarter of full size with acceptable latency.
+const fig5bSizeTarget = 4
+
+// Figure5b reproduces Figure 5(b): for each burst size, the smallest
+// window whose designed crossbar reaches the acceptable size, showing
+// the near-linear window/burst relation.
+func Figure5b(seed int64) ([]Fig5bPoint, error) {
+	var points []Fig5bPoint
+	for _, burst := range Fig5bBurstSizes {
+		app := workloads.Synthetic(seed, burst)
+		run, err := Prepare(app)
+		if err != nil {
+			return nil, err
+		}
+		found := int64(-1)
+		for ws := burst / 4; ws <= 16*burst; ws = ws * 5 / 4 {
+			a, err := trace.Analyze(run.Full.ReqTrace, ws)
+			if err != nil {
+				return nil, err
+			}
+			d, err := core.DesignCrossbar(a, sweepOptions())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure 5b at burst=%d ws=%d: %w", burst, ws, err)
+			}
+			if d.NumBuses <= fig5bSizeTarget {
+				found = ws
+				break
+			}
+		}
+		points = append(points, Fig5bPoint{BurstSize: burst, AcceptableWS: found})
+	}
+	return points, nil
+}
+
+// Figure5bReport renders Figure 5(b).
+func Figure5bReport(points []Fig5bPoint) *report.Series {
+	s := &report.Series{
+		Title:  "Figure 5(b): acceptable window size vs burst size (Synth-20)",
+		XLabel: "burst (cy)",
+		YLabel: "window (cy)",
+	}
+	for _, p := range points {
+		s.Add(float64(p.BurstSize), float64(p.AcceptableWS))
+	}
+	return s
+}
+
+// Fig6Point is one point of Figure 6: designed crossbar size at one
+// overlap-threshold setting.
+type Fig6Point struct {
+	Threshold float64
+	Buses     int
+	Conflicts int
+}
+
+// Fig6Thresholds are the swept overlap thresholds (fractions of the
+// window size), the paper's 0%–50% range.
+var Fig6Thresholds = []float64{0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50}
+
+// Figure6 reproduces Figure 6: the effect of the overlap-threshold
+// pre-processing parameter on the designed crossbar size, at a fixed
+// window of twice the nominal burst.
+func Figure6(seed int64) ([]Fig6Point, error) {
+	app := workloads.Synthetic(seed, 1000)
+	run, err := Prepare(app)
+	if err != nil {
+		return nil, err
+	}
+	a, err := trace.Analyze(run.Full.ReqTrace, app.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	var points []Fig6Point
+	for _, thr := range Fig6Thresholds {
+		opts := sweepOptions()
+		opts.OverlapThreshold = thr
+		d, err := core.DesignCrossbar(a, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure 6 at threshold=%.2f: %w", thr, err)
+		}
+		points = append(points, Fig6Point{Threshold: thr, Buses: d.NumBuses, Conflicts: d.Conflicts})
+	}
+	return points, nil
+}
+
+// Figure6Report renders Figure 6.
+func Figure6Report(points []Fig6Point) *report.Series {
+	s := &report.Series{
+		Title:  "Figure 6: crossbar size vs overlap threshold (Synth-20, window = 2 bursts)",
+		XLabel: "threshold %",
+		YLabel: "buses",
+	}
+	for _, p := range points {
+		s.Add(p.Threshold*100, float64(p.Buses))
+	}
+	return s
+}

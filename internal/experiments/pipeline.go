@@ -1,0 +1,108 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 7): Table 1 (crossbar performance and
+// cost), Table 2 (component savings), Figures 4(a)/(b) (relative
+// latencies of average-flow vs window-based designs), Figure 5(a)
+// (crossbar size vs window size), Figure 5(b) (acceptable window size
+// vs burst size), Figure 6 (overlap threshold effects), and the
+// Section 7.3 binding and real-time studies.
+//
+// Each experiment follows the paper's four-phase flow: simulate the
+// application on a full crossbar, analyze the traffic in windows,
+// design the two crossbars, and validate the result by cycle-accurate
+// simulation on the designed configuration.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stbus"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Seed is the default workload seed used by cmd/experiments and the
+// benchmark harness, so published numbers are reproducible.
+const Seed = 1
+
+// AppRun holds the phase-1 artifacts for one application: the full
+// crossbar simulation and the windowed analyses of both directions.
+type AppRun struct {
+	App        *workloads.App
+	Full       *sim.Result
+	AReq       *trace.Analysis // initiator→target direction
+	AResp      *trace.Analysis // target→initiator direction
+	WindowSize int64
+}
+
+// Prepare runs phase 1 (full-crossbar simulation and trace collection)
+// and phase 2's data reduction (window analysis) for an application.
+func Prepare(app *workloads.App) (*AppRun, error) {
+	req, resp := app.FullConfig()
+	full, err := sim.Run(app.SimConfig(req, resp))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: full-crossbar simulation of %s: %w", app.Name, err)
+	}
+	aReq, err := trace.Analyze(full.ReqTrace, app.WindowSize)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: analyzing %s request trace: %w", app.Name, err)
+	}
+	aResp, err := trace.Analyze(full.RespTrace, app.WindowSize)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: analyzing %s response trace: %w", app.Name, err)
+	}
+	return &AppRun{App: app, Full: full, AReq: aReq, AResp: aResp, WindowSize: app.WindowSize}, nil
+}
+
+// DesignPair is a designed crossbar for each direction.
+type DesignPair struct {
+	Req, Resp *core.Design
+}
+
+// TotalBuses is the summed bus count of both directions (the paper's
+// Table 2 metric).
+func (p *DesignPair) TotalBuses() int { return p.Req.NumBuses + p.Resp.NumBuses }
+
+// Design runs the methodology (phases 2–3) on both directions.
+func (r *AppRun) Design(opts core.Options) (*DesignPair, error) {
+	dReq, err := core.DesignCrossbar(r.AReq, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: designing %s initiator→target crossbar: %w", r.App.Name, err)
+	}
+	dResp, err := core.DesignCrossbar(r.AResp, opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: designing %s target→initiator crossbar: %w", r.App.Name, err)
+	}
+	return &DesignPair{Req: dReq, Resp: dResp}, nil
+}
+
+// Validate runs phase 4: cycle-accurate simulation of the application
+// on the designed partial crossbars.
+func (r *AppRun) Validate(pair *DesignPair) (*sim.Result, error) {
+	req := stbus.Partial(r.App.NumInitiators, pair.Req.BusOf)
+	resp := stbus.Partial(r.App.NumTargets, pair.Resp.BusOf)
+	res, err := sim.Run(r.App.SimConfig(req, resp))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: validating %s design: %w", r.App.Name, err)
+	}
+	return res, nil
+}
+
+// ValidateBinding simulates an explicit binding pair (used by the
+// random-binding study).
+func (r *AppRun) ValidateBinding(reqBusOf, respBusOf []int) (*sim.Result, error) {
+	req := stbus.Partial(r.App.NumInitiators, reqBusOf)
+	resp := stbus.Partial(r.App.NumTargets, respBusOf)
+	return sim.Run(r.App.SimConfig(req, resp))
+}
+
+// RunShared simulates the application on the shared-bus configuration.
+func (r *AppRun) RunShared() (*sim.Result, error) {
+	req, resp := r.App.SharedConfig()
+	res, err := sim.Run(r.App.SimConfig(req, resp))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: shared-bus simulation of %s: %w", r.App.Name, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// RobustnessRow records the designed bus counts of one application
+// across workload seeds. The paper reports single-trace results; with
+// a synthetic substrate the reproduction must additionally show its
+// headline numbers (Table 2) do not hinge on one RNG draw.
+type RobustnessRow struct {
+	App    string
+	Seeds  []int64
+	Buses  []int // designed total buses per seed
+	MinMax [2]int
+	Stable bool // every seed produced the same count
+}
+
+// DefaultRobustnessSeeds are the seeds swept by the robustness study.
+var DefaultRobustnessSeeds = []int64{1, 2, 3, 4, 5}
+
+// Robustness designs every benchmark across the given seeds.
+func Robustness(seeds []int64) ([]RobustnessRow, error) {
+	if len(seeds) == 0 {
+		seeds = DefaultRobustnessSeeds
+	}
+	// All five benchmarks per seed.
+	type key struct{ app string }
+	rowOf := map[string]*RobustnessRow{}
+	var order []string
+	for _, seed := range seeds {
+		for _, app := range workloads.All(seed) {
+			run, err := Prepare(app)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: robustness seed %d: %w", seed, err)
+			}
+			pair, err := run.Design(core.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("experiments: robustness seed %d %s: %w", seed, app.Name, err)
+			}
+			row := rowOf[app.Name]
+			if row == nil {
+				row = &RobustnessRow{App: app.Name}
+				rowOf[app.Name] = row
+				order = append(order, app.Name)
+			}
+			row.Seeds = append(row.Seeds, seed)
+			row.Buses = append(row.Buses, pair.TotalBuses())
+		}
+	}
+	var rows []RobustnessRow
+	for _, name := range order {
+		row := rowOf[name]
+		row.MinMax = [2]int{row.Buses[0], row.Buses[0]}
+		row.Stable = true
+		for _, b := range row.Buses {
+			if b < row.MinMax[0] {
+				row.MinMax[0] = b
+			}
+			if b > row.MinMax[1] {
+				row.MinMax[1] = b
+			}
+			if b != row.Buses[0] {
+				row.Stable = false
+			}
+		}
+		rows = append(rows, *row)
+	}
+	return rows, nil
+}
+
+// RobustnessReport renders the study.
+func RobustnessReport(rows []RobustnessRow) *report.Table {
+	t := report.NewTable("Extension: Designed Bus Counts Across Workload Seeds",
+		"Application", "Counts per seed", "Min", "Max", "Stable")
+	for _, r := range rows {
+		t.AddRow(r.App, fmt.Sprint(r.Buses), r.MinMax[0], r.MinMax[1], r.Stable)
+	}
+	return t
+}

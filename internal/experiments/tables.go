@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/workloads"
+)
+
+// Table1Row is one architecture row of the paper's Table 1: average
+// and maximum packet latency on the Mat2 benchmark, plus crossbar size
+// normalized to the shared-bus configuration (which uses one bus per
+// direction).
+type Table1Row struct {
+	Arch      string
+	AvgLat    float64
+	MaxLat    int64
+	SizeRatio float64
+}
+
+// Table1 reproduces Table 1: Mat2 on a shared bus, a full crossbar and
+// the designed partial crossbar.
+func Table1(seed int64) ([]Table1Row, error) {
+	run, err := Prepare(workloads.Mat2(seed))
+	if err != nil {
+		return nil, err
+	}
+	shared, err := run.RunShared()
+	if err != nil {
+		return nil, err
+	}
+	pair, err := run.Design(core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	partial, err := run.Validate(pair)
+	if err != nil {
+		return nil, err
+	}
+	const sharedBuses = 2.0 // one bus per direction
+	fullBuses := float64(run.App.NumCores())
+	ss, fs, ps := shared.Latency.SummarizePacket(), run.Full.Latency.SummarizePacket(), partial.Latency.SummarizePacket()
+	return []Table1Row{
+		{Arch: "shared", AvgLat: ss.Avg, MaxLat: ss.Max, SizeRatio: 1},
+		{Arch: "full", AvgLat: fs.Avg, MaxLat: fs.Max, SizeRatio: fullBuses / sharedBuses},
+		{Arch: "partial", AvgLat: ps.Avg, MaxLat: ps.Max, SizeRatio: float64(pair.TotalBuses()) / sharedBuses},
+	}, nil
+}
+
+// Table1Report renders Table 1.
+func Table1Report(rows []Table1Row) *report.Table {
+	t := report.NewTable("Table 1: Crossbar Performance and Cost (Mat2)",
+		"Type", "Average Lat (cy)", "Maximum Lat (cy)", "Size Ratio")
+	for _, r := range rows {
+		t.AddRow(r.Arch, r.AvgLat, r.MaxLat, r.SizeRatio)
+	}
+	return t
+}
+
+// Table2Row is one application row of the paper's Table 2: bus count
+// of the full crossbar vs the designed crossbar (both directions
+// summed) and the savings ratio.
+type Table2Row struct {
+	App           string
+	FullBuses     int
+	DesignedBuses int
+	Ratio         float64
+}
+
+// Table2 reproduces Table 2 over the five benchmark applications.
+func Table2(seed int64) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, app := range workloads.All(seed) {
+		run, err := Prepare(app)
+		if err != nil {
+			return nil, err
+		}
+		pair, err := run.Design(core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		full := app.NumCores()
+		rows = append(rows, Table2Row{
+			App:           app.Name,
+			FullBuses:     full,
+			DesignedBuses: pair.TotalBuses(),
+			Ratio:         float64(full) / float64(pair.TotalBuses()),
+		})
+	}
+	return rows, nil
+}
+
+// Table2Report renders Table 2.
+func Table2Report(rows []Table2Row) *report.Table {
+	t := report.NewTable("Table 2: Component Savings",
+		"Application", "Full crossbar bus count", "Designed crossbar bus count", "Ratio")
+	for _, r := range rows {
+		t.AddRow(r.App, r.FullBuses, r.DesignedBuses, r.Ratio)
+	}
+	return t
+}
+
+// Figure4Row holds one application's relative packet latencies
+// (normalized to the full crossbar) for the average-flow baseline
+// design ("avg") and the window-based design ("win") — the bars of
+// Figures 4(a) and 4(b).
+type Figure4Row struct {
+	App       string
+	AvgRelAvg float64 // avg-design average latency / full-crossbar average
+	WinRelAvg float64
+	AvgRelMax float64 // avg-design maximum latency / full-crossbar maximum
+	WinRelMax float64
+}
+
+// Figure4 reproduces Figures 4(a) and 4(b) over the five benchmarks.
+func Figure4(seed int64) ([]Figure4Row, error) {
+	var rows []Figure4Row
+	for _, app := range workloads.All(seed) {
+		run, err := Prepare(app)
+		if err != nil {
+			return nil, err
+		}
+		// Window-based design (ours).
+		pair, err := run.Design(core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		win, err := run.Validate(pair)
+		if err != nil {
+			return nil, err
+		}
+		// Average-flow baseline design (prior approaches).
+		bReq, err := baseline.AverageFlow(run.Full.ReqTrace, 0)
+		if err != nil {
+			return nil, err
+		}
+		bResp, err := baseline.AverageFlow(run.Full.RespTrace, 0)
+		if err != nil {
+			return nil, err
+		}
+		avg, err := run.ValidateBinding(bReq.BusOf, bResp.BusOf)
+		if err != nil {
+			return nil, err
+		}
+		fs, ws, as := run.Full.Latency.SummarizePacket(), win.Latency.SummarizePacket(), avg.Latency.SummarizePacket()
+		rows = append(rows, Figure4Row{
+			App:       app.Name,
+			AvgRelAvg: as.Avg / fs.Avg,
+			WinRelAvg: ws.Avg / fs.Avg,
+			AvgRelMax: float64(as.Max) / float64(fs.Max),
+			WinRelMax: float64(ws.Max) / float64(fs.Max),
+		})
+	}
+	return rows, nil
+}
+
+// Figure4Report renders both panels of Figure 4.
+func Figure4Report(rows []Figure4Row) (avgPanel, maxPanel *report.Table) {
+	avgPanel = report.NewTable("Figure 4(a): Relative Average Packet Latency (vs full crossbar)",
+		"Application", "avg design", "win design")
+	maxPanel = report.NewTable("Figure 4(b): Relative Maximum Packet Latency (vs full crossbar)",
+		"Application", "avg design", "win design")
+	for _, r := range rows {
+		avgPanel.AddRow(r.App, r.AvgRelAvg, r.WinRelAvg)
+		maxPanel.AddRow(r.App, r.AvgRelMax, r.WinRelMax)
+	}
+	return avgPanel, maxPanel
+}

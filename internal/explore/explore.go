@@ -1,0 +1,170 @@
+// Package explore implements design-space exploration over the
+// methodology's tuning parameters. The paper notes that "depending on
+// the design objective, crossbar size-performance trade-offs can be
+// explored in our approach by tuning the analysis parameters (such as
+// the window size, overlap threshold, etc.)" (Section 7.1); this
+// package sweeps those parameters, validates every candidate by
+// cycle-accurate simulation, and extracts the Pareto frontier of
+// (crossbar size, average packet latency).
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Grid is the swept parameter space.
+type Grid struct {
+	// Windows are analysis window sizes in cycles. Zero entries use
+	// the application's recommended window.
+	Windows []int64
+	// Thresholds are overlap thresholds (fraction of window; negative
+	// disables pre-processing).
+	Thresholds []float64
+	// MaxPerBus values cap receivers per bus (0 = unlimited).
+	MaxPerBus []int
+}
+
+// DefaultGrid covers the ranges the paper explores in Sections
+// 7.2–7.4.
+func DefaultGrid(recommendedWS int64) Grid {
+	return Grid{
+		Windows:    []int64{recommendedWS / 2, recommendedWS, 2 * recommendedWS, 4 * recommendedWS},
+		Thresholds: []float64{0.10, 0.30, 0.50},
+		MaxPerBus:  []int{3, 4, 6},
+	}
+}
+
+// Point is one evaluated design.
+type Point struct {
+	Window     int64
+	Threshold  float64
+	MaxPerBus  int
+	Buses      int
+	AvgLat     float64
+	MaxLat     int64
+	Infeasible bool // design failed (e.g. conflicts exceed any bus count)
+}
+
+// Sweep evaluates every grid combination on the application: one full
+// crossbar simulation for the trace, then per-combination analysis,
+// design and validation.
+func Sweep(app *workloads.App, grid Grid) ([]Point, error) {
+	run, err := experiments.Prepare(app)
+	if err != nil {
+		return nil, err
+	}
+	var points []Point
+	for _, ws := range grid.Windows {
+		if ws <= 0 {
+			ws = app.WindowSize
+		}
+		aReq, err := trace.Analyze(run.Full.ReqTrace, ws)
+		if err != nil {
+			return nil, fmt.Errorf("explore: analyze req at ws=%d: %w", ws, err)
+		}
+		aResp, err := trace.Analyze(run.Full.RespTrace, ws)
+		if err != nil {
+			return nil, fmt.Errorf("explore: analyze resp at ws=%d: %w", ws, err)
+		}
+		for _, thr := range grid.Thresholds {
+			for _, cap := range grid.MaxPerBus {
+				opts := core.Options{
+					OverlapThreshold: thr,
+					SeparateCritical: true,
+					MaxPerBus:        cap,
+					OptimizeBinding:  true,
+				}
+				p := Point{Window: ws, Threshold: thr, MaxPerBus: cap}
+				dReq, errReq := core.DesignCrossbar(aReq, opts)
+				dResp, errResp := core.DesignCrossbar(aResp, opts)
+				if errReq != nil || errResp != nil {
+					p.Infeasible = true
+					points = append(points, p)
+					continue
+				}
+				pair := &experiments.DesignPair{Req: dReq, Resp: dResp}
+				res, err := run.Validate(pair)
+				if err != nil {
+					return nil, err
+				}
+				s := res.Latency.SummarizePacket()
+				p.Buses = pair.TotalBuses()
+				p.AvgLat = s.Avg
+				p.MaxLat = s.Max
+				points = append(points, p)
+			}
+		}
+	}
+	return points, nil
+}
+
+// ParetoFront returns the points not dominated in (Buses, AvgLat):
+// a point dominates another when it is no larger in both dimensions
+// and strictly smaller in at least one. The result is sorted by bus
+// count then latency.
+func ParetoFront(points []Point) []Point {
+	var feasible []Point
+	for _, p := range points {
+		if !p.Infeasible {
+			feasible = append(feasible, p)
+		}
+	}
+	var front []Point
+	for _, p := range feasible {
+		dominated := false
+		for _, q := range feasible {
+			if q.Buses <= p.Buses && q.AvgLat <= p.AvgLat &&
+				(q.Buses < p.Buses || q.AvgLat < p.AvgLat) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Buses != front[j].Buses {
+			return front[i].Buses < front[j].Buses
+		}
+		return front[i].AvgLat < front[j].AvgLat
+	})
+	// Drop duplicate (Buses, AvgLat) pairs from different parameter
+	// combinations; keep the first.
+	out := front[:0]
+	for i, p := range front {
+		if i == 0 || p.Buses != front[i-1].Buses || p.AvgLat != front[i-1].AvgLat {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Report renders a sweep result, marking Pareto-optimal rows.
+func Report(title string, points []Point) *report.Table {
+	onFront := map[Point]bool{}
+	for _, p := range ParetoFront(points) {
+		onFront[p] = true
+	}
+	t := report.NewTable(title,
+		"Window", "Threshold", "MaxPerBus", "Buses", "Avg lat", "Max lat", "Pareto")
+	for _, p := range points {
+		if p.Infeasible {
+			t.AddRow(p.Window, p.Threshold, p.MaxPerBus, "-", "infeasible", "-", "")
+			continue
+		}
+		mark := ""
+		if onFront[p] {
+			mark = "*"
+		}
+		t.AddRow(p.Window, p.Threshold, p.MaxPerBus, p.Buses, p.AvgLat, p.MaxLat, mark)
+	}
+	return t
+}

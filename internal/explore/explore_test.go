@@ -1,0 +1,115 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func smallGrid() Grid {
+	return Grid{
+		Windows:    []int64{0, 2000}, // 0 = app recommended
+		Thresholds: []float64{0.30, 0.50},
+		MaxPerBus:  []int{4},
+	}
+}
+
+func TestSweepEvaluatesGrid(t *testing.T) {
+	points, err := Sweep(workloads.QSort(1), smallGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	for _, p := range points {
+		if p.Infeasible {
+			t.Errorf("point %+v infeasible", p)
+			continue
+		}
+		if p.Buses <= 0 || p.AvgLat <= 0 {
+			t.Errorf("point %+v has empty results", p)
+		}
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	points := []Point{
+		{Buses: 6, AvgLat: 8},
+		{Buses: 8, AvgLat: 7},
+		{Buses: 10, AvgLat: 7}, // dominated by (8,7)
+		{Buses: 6, AvgLat: 9},  // dominated by (6,8)
+		{Buses: 4, AvgLat: 12}, // front
+		{Infeasible: true},     // ignored
+		{Buses: 8, AvgLat: 7},  // duplicate of front point
+	}
+	front := ParetoFront(points)
+	want := []Point{{Buses: 4, AvgLat: 12}, {Buses: 6, AvgLat: 8}, {Buses: 8, AvgLat: 7}}
+	if len(front) != len(want) {
+		t.Fatalf("front = %+v, want %+v", front, want)
+	}
+	for i := range want {
+		if front[i].Buses != want[i].Buses || front[i].AvgLat != want[i].AvgLat {
+			t.Errorf("front[%d] = %+v, want %+v", i, front[i], want[i])
+		}
+	}
+}
+
+func TestParetoFrontEmpty(t *testing.T) {
+	if got := ParetoFront(nil); len(got) != 0 {
+		t.Errorf("front of nothing = %v", got)
+	}
+	if got := ParetoFront([]Point{{Infeasible: true}}); len(got) != 0 {
+		t.Errorf("front of infeasible = %v", got)
+	}
+}
+
+func TestSweepParetoContainsExtremes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	points, err := Sweep(workloads.QSort(1), DefaultGrid(workloads.QSort(1).WindowSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFront(points)
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	// The front must include the global minimum bus count and the
+	// global minimum latency among feasible points.
+	minBuses, minLat := 1<<30, 1e18
+	for _, p := range points {
+		if p.Infeasible {
+			continue
+		}
+		if p.Buses < minBuses {
+			minBuses = p.Buses
+		}
+		if p.AvgLat < minLat {
+			minLat = p.AvgLat
+		}
+	}
+	if front[0].Buses != minBuses {
+		t.Errorf("front does not start at min buses %d: %+v", minBuses, front[0])
+	}
+	if front[len(front)-1].AvgLat != minLat {
+		t.Errorf("front does not end at min latency %.2f: %+v", minLat, front[len(front)-1])
+	}
+}
+
+func TestReportMarksPareto(t *testing.T) {
+	points := []Point{
+		{Window: 100, Buses: 4, AvgLat: 10},
+		{Window: 200, Buses: 6, AvgLat: 12}, // dominated
+		{Window: 300, Infeasible: true},
+	}
+	out := Report("sweep", points).String()
+	if !strings.Contains(out, "*") {
+		t.Errorf("no Pareto marker:\n%s", out)
+	}
+	if !strings.Contains(out, "infeasible") {
+		t.Errorf("infeasible row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,424 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SolveBounded solves
+//
+//	minimize    c·x
+//	subject to  a_r·x {≤,≥,=} b_r
+//	            0 ≤ x_j ≤ upper[j]
+//
+// with the bounded-variable simplex method: upper bounds are handled
+// implicitly by the pivoting rules instead of as explicit constraint
+// rows, which keeps the tableau at the structural constraint count.
+// This is the LP engine the MILP branch-and-bound uses — binaries get
+// upper bound 1 without inflating the basis. Pass math.Inf(1) for
+// unbounded variables; upper == nil means all variables unbounded.
+func SolveBounded(p *Problem, upper []float64) (*Solution, error) {
+	if p.NumVars < 0 {
+		return nil, errors.New("lp: negative variable count")
+	}
+	if p.Objective != nil && len(p.Objective) != p.NumVars {
+		return nil, fmt.Errorf("lp: objective has %d coefficients, want %d", len(p.Objective), p.NumVars)
+	}
+	if upper != nil && len(upper) != p.NumVars {
+		return nil, fmt.Errorf("lp: upper has %d entries, want %d", len(upper), p.NumVars)
+	}
+	for _, c := range p.Constraints {
+		for _, t := range c.Terms {
+			if t.Var < 0 || t.Var >= p.NumVars {
+				return nil, fmt.Errorf("lp: constraint references variable %d outside [0,%d)", t.Var, p.NumVars)
+			}
+		}
+	}
+	if upper != nil {
+		for j, u := range upper {
+			if u < 0 {
+				return nil, fmt.Errorf("lp: negative upper bound on variable %d", j)
+			}
+		}
+	}
+
+	t := newBoundedTableau(p, upper)
+	// Phase 1: minimize the artificial sum.
+	if t.numArtificial > 0 {
+		if err := t.run(t.phase1Costs()); err != nil {
+			return nil, err
+		}
+		if t.phase1Value() > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.pinArtificials()
+	}
+	costs := make([]float64, t.numCols)
+	for j := 0; j < p.NumVars && p.Objective != nil; j++ {
+		costs[j] = p.Objective[j]
+	}
+	if err := t.run(costs); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	x := make([]float64, p.NumVars)
+	vals := t.values()
+	copy(x, vals[:p.NumVars])
+	var obj float64
+	for j := 0; j < p.NumVars && p.Objective != nil; j++ {
+		obj += p.Objective[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// boundedTableau is the bounded-variable simplex working state.
+// rows holds B⁻¹A (no RHS column); basic values are carried in xB.
+// Nonbasic variables sit at 0 (their lower bound) or at upper[j].
+type boundedTableau struct {
+	m, numCols    int
+	numArtificial int
+	artStart      int
+	rows          [][]float64
+	xB            []float64
+	basis         []int
+	isBasic       []bool
+	atUpper       []bool // for nonbasic columns
+	upper         []float64
+}
+
+func newBoundedTableau(p *Problem, structUpper []float64) *boundedTableau {
+	m := len(p.Constraints)
+	numSlack, numArt := 0, 0
+	for _, c := range p.Constraints {
+		sense := c.Sense
+		if c.RHS < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	numCols := p.NumVars + numSlack + numArt
+	t := &boundedTableau{
+		m:             m,
+		numCols:       numCols,
+		numArtificial: numArt,
+		artStart:      p.NumVars + numSlack,
+		rows:          make([][]float64, m),
+		xB:            make([]float64, m),
+		basis:         make([]int, m),
+		isBasic:       make([]bool, numCols),
+		atUpper:       make([]bool, numCols),
+		upper:         make([]float64, numCols),
+	}
+	for j := 0; j < numCols; j++ {
+		t.upper[j] = math.Inf(1)
+	}
+	if structUpper != nil {
+		copy(t.upper, structUpper)
+	}
+	slackCol := p.NumVars
+	artCol := t.artStart
+	for i, c := range p.Constraints {
+		row := make([]float64, numCols)
+		sign := 1.0
+		sense := c.Sense
+		if c.RHS < 0 {
+			sign = -1
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		for _, term := range c.Terms {
+			row[term.Var] += sign * term.Coef
+		}
+		rhs := sign * c.RHS
+		switch sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.rows[i] = row
+		t.xB[i] = rhs // all structural nonbasics start at 0
+	}
+	for _, bv := range t.basis {
+		t.isBasic[bv] = true
+	}
+	return t
+}
+
+func (t *boundedTableau) phase1Costs() []float64 {
+	costs := make([]float64, t.numCols)
+	for j := t.artStart; j < t.numCols; j++ {
+		costs[j] = 1
+	}
+	return costs
+}
+
+func (t *boundedTableau) phase1Value() float64 {
+	var v float64
+	for i, bv := range t.basis {
+		if bv >= t.artStart {
+			v += t.xB[i]
+		}
+	}
+	return v
+}
+
+// pinArtificials freezes artificial variables at zero after phase 1:
+// nonbasic artificials get upper bound 0; basic ones (at level 0 after
+// a feasible phase 1) are pivoted out where possible.
+func (t *boundedTableau) pinArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		// Degenerate pivot: swap in any nonbasic structural/slack
+		// column; the entering variable keeps its current bound value
+		// (the artificial leaves at level ≈ 0, so nothing moves).
+		for j := 0; j < t.artStart; j++ {
+			if !t.isBasic[j] && math.Abs(t.rows[i][j]) > eps {
+				val := 0.0
+				if t.atUpper[j] {
+					val = t.upper[j]
+				}
+				t.pivot(i, j, val)
+				break
+			}
+		}
+	}
+	// Freeze every artificial at zero — including any still basic in a
+	// redundant row, which the ratio test then holds at level 0.
+	for j := t.artStart; j < t.numCols; j++ {
+		t.upper[j] = 0
+		t.atUpper[j] = false
+	}
+}
+
+// values returns the full variable vector.
+func (t *boundedTableau) values() []float64 {
+	x := make([]float64, t.numCols)
+	for j := 0; j < t.numCols; j++ {
+		if !t.isBasic[j] && t.atUpper[j] {
+			x[j] = t.upper[j]
+		}
+	}
+	for i, bv := range t.basis {
+		x[bv] = t.xB[i]
+	}
+	return x
+}
+
+// run iterates bounded-variable pivots to optimality for the costs.
+func (t *boundedTableau) run(costs []float64) error {
+	maxIters := 1000 * (t.m + t.numCols + 10)
+	blandAfter := 20 * (t.m + t.numCols + 10)
+	z := make([]float64, t.numCols)
+	refresh := func() {
+		// z_j = c_j − c_B·B⁻¹A_j.
+		cb := make([]float64, t.m)
+		any := false
+		for i, bv := range t.basis {
+			cb[i] = costs[bv]
+			if cb[i] != 0 {
+				any = true
+			}
+		}
+		for j := 0; j < t.numCols; j++ {
+			v := costs[j]
+			if any {
+				for i := 0; i < t.m; i++ {
+					if cb[i] != 0 {
+						v -= cb[i] * t.rows[i][j]
+					}
+				}
+			}
+			z[j] = v
+		}
+	}
+	refresh()
+	const refreshEvery = 256
+
+	// eligible reports whether nonbasic column j can improve the
+	// objective, and the movement direction (+1 from lower, −1 from
+	// upper).
+	eligible := func(j int) (float64, bool) {
+		if t.isBasic[j] {
+			return 0, false
+		}
+		if !t.atUpper[j] && z[j] < -eps {
+			return 1, true
+		}
+		if t.atUpper[j] && z[j] > eps {
+			return -1, true
+		}
+		return 0, false
+	}
+
+	for iter := 0; iter < maxIters; iter++ {
+		if iter%refreshEvery == refreshEvery-1 {
+			refresh()
+		}
+		entering, dir := -1, 0.0
+		if iter < blandAfter {
+			best := eps
+			for j := 0; j < t.numCols; j++ {
+				if d, ok := eligible(j); ok && math.Abs(z[j]) > best {
+					best = math.Abs(z[j])
+					entering, dir = j, d
+				}
+			}
+		} else {
+			for j := 0; j < t.numCols; j++ {
+				if d, ok := eligible(j); ok {
+					entering, dir = j, d
+					break
+				}
+			}
+		}
+		if entering == -1 {
+			refresh()
+			for j := 0; j < t.numCols; j++ {
+				if d, ok := eligible(j); ok {
+					entering, dir = j, d
+					break
+				}
+			}
+			if entering == -1 {
+				return nil
+			}
+		}
+
+		// Ratio test: the entering variable moves by step ≥ 0 in
+		// direction dir; basic variable i changes by −dir·y_i·step.
+		step := t.upper[entering] // bound-to-bound flip distance
+		leaving := -1
+		leavingToUpper := false
+		for i := 0; i < t.m; i++ {
+			y := t.rows[i][entering]
+			if math.Abs(y) <= eps {
+				continue
+			}
+			delta := -dir * y // d(xB_i)/d(step)
+			var limit float64
+			var hitsUpper bool
+			if delta < 0 {
+				limit = t.xB[i] / -delta // falls to 0
+				hitsUpper = false
+			} else {
+				ub := t.upper[t.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				limit = (ub - t.xB[i]) / delta // rises to its upper bound
+				hitsUpper = true
+			}
+			if limit < -eps {
+				limit = 0
+			}
+			if limit < step-eps || (limit < step+eps && (leaving == -1 || t.basis[i] < t.basis[leaving])) {
+				if limit < 0 {
+					limit = 0
+				}
+				step = limit
+				leaving = i
+				leavingToUpper = hitsUpper
+			}
+		}
+		if math.IsInf(step, 1) {
+			return errUnbounded
+		}
+
+		if leaving == -1 {
+			// Bound-to-bound flip: the entering variable swaps bounds
+			// without a basis change.
+			for i := 0; i < t.m; i++ {
+				t.xB[i] += -dir * t.rows[i][entering] * step
+			}
+			t.atUpper[entering] = !t.atUpper[entering]
+			continue
+		}
+
+		// Update basic values, then pivot.
+		for i := 0; i < t.m; i++ {
+			t.xB[i] += -dir * t.rows[i][entering] * step
+		}
+		enterVal := 0.0
+		if t.atUpper[entering] {
+			enterVal = t.upper[entering]
+		}
+		enterVal += dir * step
+
+		leavingCol := t.basis[leaving]
+		t.pivot(leaving, entering, enterVal)
+		t.atUpper[leavingCol] = leavingToUpper
+
+		// Maintain the price row.
+		f := z[entering]
+		if f != 0 {
+			row := t.rows[leaving]
+			for j := 0; j < t.numCols; j++ {
+				z[j] -= f * row[j]
+			}
+			z[entering] = 0
+		}
+	}
+	return ErrIterationLimit
+}
+
+// pivot makes column e basic in row l with value val.
+func (t *boundedTableau) pivot(l, e int, val float64) {
+	leavingCol := t.basis[l]
+	row := t.rows[l]
+	inv := 1.0 / row[e]
+	for j := range row {
+		row[j] *= inv
+	}
+	row[e] = 1
+	for i := 0; i < t.m; i++ {
+		if i == l {
+			continue
+		}
+		f := t.rows[i][e]
+		if f == 0 {
+			continue
+		}
+		other := t.rows[i]
+		for j := range other {
+			other[j] -= f * row[j]
+		}
+		other[e] = 0
+	}
+	t.isBasic[leavingCol] = false
+	t.isBasic[e] = true
+	t.basis[l] = e
+	t.xB[l] = val
+}

@@ -1,0 +1,219 @@
+// Package milp implements a branch-and-bound solver for mixed integer
+// linear programs whose integer variables are binary (0/1), layered on
+// the simplex solver in internal/lp. Together with internal/lp it
+// substitutes for the CPLEX package used by the paper: the crossbar
+// feasibility MILP (paper Eq. 10) and binding MILP (paper Eq. 11) use
+// only binary integer variables (x_{i,k}, sb_{i,j,k}, s_{i,j}) plus the
+// continuous maxov objective variable.
+//
+// Binary bounds are enforced by the bounded-variable simplex (no
+// explicit 0/1 rows), and branching fixes variables by substitution —
+// a fixed variable is eliminated from the node LP entirely — so node
+// relaxations shrink as the search deepens.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/lp"
+)
+
+// Problem is an LP plus binary integrality requirements.
+type Problem struct {
+	LP lp.Problem
+	// Binary[v] marks variable v as required to take value 0 or 1.
+	// The solver bounds the variable to [0,1] internally.
+	Binary []bool
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes (0 means a generous
+	// default). Exceeding it returns ErrNodeLimit.
+	MaxNodes int
+	// FirstFeasible stops at the first integral solution instead of
+	// proving optimality — the mode used for the paper's feasibility
+	// MILP, which has no objective function.
+	FirstFeasible bool
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    lp.Status
+	X         []float64
+	Objective float64
+	Nodes     int // nodes explored
+}
+
+// ErrNodeLimit is returned when the node budget is exhausted before
+// the search completes.
+var ErrNodeLimit = errors.New("milp: node limit exceeded")
+
+const intTol = 1e-6
+
+// Solve runs best-first branch and bound.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if len(p.Binary) != p.LP.NumVars {
+		return nil, fmt.Errorf("milp: Binary has %d entries, want %d", len(p.Binary), p.LP.NumVars)
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	n := p.LP.NumVars
+	upper := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if p.Binary[v] {
+			upper[v] = 1
+		} else {
+			upper[v] = math.Inf(1)
+		}
+	}
+
+	type node struct {
+		fixed map[int]float64
+		bound float64 // parent's LP relaxation objective
+	}
+	open := []node{{fixed: map[int]float64{}, bound: math.Inf(-1)}}
+
+	var best *Solution
+	nodes := 0
+	for len(open) > 0 {
+		// Pop the node with the most promising bound (best-first).
+		bestIdx := 0
+		for i := range open {
+			if open[i].bound < open[bestIdx].bound {
+				bestIdx = i
+			}
+		}
+		cur := open[bestIdx]
+		open = append(open[:bestIdx], open[bestIdx+1:]...)
+
+		if best != nil && cur.bound >= best.Objective-1e-9 {
+			continue
+		}
+		nodes++
+		if nodes > maxNodes {
+			return nil, ErrNodeLimit
+		}
+
+		sol, err := solveNode(&p.LP, upper, cur.fixed)
+		if err != nil {
+			return nil, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return &Solution{Status: lp.Unbounded, Nodes: nodes}, nil
+		}
+		if best != nil && sol.Objective >= best.Objective-1e-9 {
+			continue
+		}
+
+		// Most fractional binary variable.
+		branchVar := -1
+		worst := intTol
+		for v, isBin := range p.Binary {
+			if !isBin {
+				continue
+			}
+			frac := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+			if frac > worst {
+				worst = frac
+				branchVar = v
+			}
+		}
+		if branchVar == -1 {
+			cand := &Solution{Status: lp.Optimal, X: roundBinaries(sol.X, p.Binary), Objective: sol.Objective, Nodes: nodes}
+			if best == nil || cand.Objective < best.Objective {
+				best = cand
+			}
+			if opts.FirstFeasible {
+				best.Nodes = nodes
+				return best, nil
+			}
+			continue
+		}
+		// Branch, trying the nearer value first.
+		for _, val := range []float64{math.Round(sol.X[branchVar]), 1 - math.Round(sol.X[branchVar])} {
+			child := node{fixed: make(map[int]float64, len(cur.fixed)+1), bound: sol.Objective}
+			for k, v := range cur.fixed {
+				child.fixed[k] = v
+			}
+			child.fixed[branchVar] = val
+			open = append(open, child)
+		}
+	}
+	if best == nil {
+		return &Solution{Status: lp.Infeasible, Nodes: nodes}, nil
+	}
+	best.Nodes = nodes
+	return best, nil
+}
+
+// solveNode solves the LP relaxation with the given variables fixed,
+// by substituting them out of the constraints (the fixed variable's
+// column is folded into the RHS and its bound pinned to zero). The
+// returned solution is expressed over the original variables, with the
+// fixed values patched back in and the objective including their
+// contribution.
+func solveNode(base *lp.Problem, upper []float64, fixed map[int]float64) (*lp.Solution, error) {
+	if len(fixed) == 0 {
+		return lp.SolveBounded(base, upper)
+	}
+	sub := lp.Problem{
+		NumVars:     base.NumVars,
+		Objective:   base.Objective,
+		Constraints: make([]lp.Constraint, len(base.Constraints)),
+	}
+	for i, c := range base.Constraints {
+		rhs := c.RHS
+		terms := make([]lp.Term, 0, len(c.Terms))
+		for _, term := range c.Terms {
+			if v, ok := fixed[term.Var]; ok {
+				rhs -= term.Coef * v
+				continue
+			}
+			terms = append(terms, term)
+		}
+		sub.Constraints[i] = lp.Constraint{Terms: terms, Sense: c.Sense, RHS: rhs}
+	}
+	up := make([]float64, len(upper))
+	copy(up, upper)
+	var fixedObj float64
+	vars := make([]int, 0, len(fixed))
+	for v := range fixed {
+		vars = append(vars, v)
+	}
+	sort.Ints(vars)
+	for _, v := range vars {
+		up[v] = 0
+		if base.Objective != nil {
+			fixedObj += base.Objective[v] * fixed[v]
+		}
+	}
+	sol, err := lp.SolveBounded(&sub, up)
+	if err != nil || sol.Status != lp.Optimal {
+		return sol, err
+	}
+	for _, v := range vars {
+		sol.X[v] = fixed[v]
+	}
+	sol.Objective += fixedObj
+	return sol, nil
+}
+
+func roundBinaries(x []float64, binary []bool) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	for v, isBin := range binary {
+		if isBin {
+			out[v] = math.Round(out[v])
+		}
+	}
+	return out
+}

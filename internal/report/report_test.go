@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Title", "A", "Longer Header")
+	tab.AddRow("x", 1)
+	tab.AddRow("longer cell", 3.14159)
+	out := tab.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "Longer Header") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float not formatted to two decimals:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator equal length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("separator not aligned with header:\n%s", out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "X")
+	tab.AddRow(1)
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("empty title rendered as blank line")
+	}
+}
+
+func TestSeriesRendering(t *testing.T) {
+	s := &Series{Title: "T", XLabel: "x", YLabel: "y"}
+	s.Add(1, 10)
+	s.Add(2, 5)
+	s.Add(3, 0)
+	out := s.String()
+	if !strings.Contains(out, "T\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, 3 points
+		t.Errorf("line count = %d, want 5:\n%s", len(lines), out)
+	}
+	// The max point carries the longest bar.
+	if !strings.Contains(lines[2], strings.Repeat("#", 40)) {
+		t.Errorf("max point missing full bar:\n%s", out)
+	}
+	if strings.Contains(lines[4], "#") {
+		t.Errorf("zero point should have no bar:\n%s", out)
+	}
+}
+
+func TestSeriesAllZeros(t *testing.T) {
+	s := &Series{XLabel: "x", YLabel: "y"}
+	s.Add(1, 0)
+	out := s.String() // must not divide by zero
+	if strings.Contains(out, "#") {
+		t.Errorf("all-zero series rendered bars:\n%s", out)
+	}
+}

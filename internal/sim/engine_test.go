@@ -1,0 +1,88 @@
+package sim
+
+import "testing"
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 2) })
+	e.At(5, func() { order = append(order, 1) })
+	e.At(10, func() { order = append(order, 3) }) // same cycle, later seq
+	end := e.Run(100)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if end != 100 {
+		t.Errorf("end = %d, want 100", end)
+	}
+}
+
+func TestEngineHorizonCutsOff(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(50, func() { ran = true })
+	e.Run(20)
+	if ran {
+		t.Error("event past horizon executed")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want 20", e.Now())
+	}
+}
+
+func TestEngineSchedulingInPastClamps(t *testing.T) {
+	e := NewEngine()
+	var at int64 = -1
+	e.At(10, func() {
+		e.At(3, func() { at = e.Now() }) // in the past: runs "now"
+	})
+	e.Run(100)
+	if at != 10 {
+		t.Errorf("past-scheduled event ran at %d, want 10", at)
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			e.After(7, tick)
+		}
+	}
+	e.At(0, tick)
+	e.Run(1000)
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if e.Now() != 1000 {
+		t.Errorf("Now = %d, want 1000", e.Now())
+	}
+}
+
+func TestEngineSameCycleChain(t *testing.T) {
+	// An event scheduling another at the same cycle runs it in the same
+	// cycle, after pending same-cycle events (FIFO by sequence).
+	e := NewEngine()
+	var order []string
+	e.At(5, func() {
+		order = append(order, "a")
+		e.At(5, func() { order = append(order, "c") })
+	})
+	e.At(5, func() { order = append(order, "b") })
+	e.Run(10)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/stbus"
+	"repro/internal/trace"
+)
+
+// Config describes a complete MPSoC simulation: the platform (two
+// interconnect directions, memory timing) plus one program per
+// initiator core.
+type Config struct {
+	NumInitiators int
+	NumTargets    int
+	// Programs[i] is the op sequence core i executes (once).
+	Programs [][]Op
+	// Req configures the initiator→target crossbar (receivers are
+	// targets); Resp the target→initiator crossbar (receivers are
+	// initiators).
+	Req, Resp *stbus.Config
+	// MemWait is the target service latency in cycles between the end
+	// of the request phase and the start of the response phase.
+	MemWait int64
+	// ReqCycles is the request-phase bus occupancy of a read (the
+	// address beat); writes occupy ReqCycles+Burst.
+	ReqCycles int64
+	// LockRetry is the base back-off in cycles between semaphore
+	// acquisition attempts.
+	LockRetry int64
+	// SemTargets lists target indices that behave as semaphore devices.
+	SemTargets []int
+	// PostedWrites makes writes non-blocking (STbus posted operations):
+	// the core continues immediately after handing the write to its
+	// port, bounded by MaxOutstandingWrites in-flight writes per core.
+	PostedWrites bool
+	// MaxOutstandingWrites is the per-core posted-write FIFO depth
+	// (default 4; only used with PostedWrites).
+	MaxOutstandingWrites int
+	// MemWaitOf optionally overrides MemWait per target (length
+	// NumTargets), modeling heterogeneous memory service latencies.
+	MemWaitOf []int64
+	// Horizon is the simulated length in cycles.
+	Horizon int64
+	// CollectTrace enables functional traffic trace collection.
+	CollectTrace bool
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	if c.NumInitiators <= 0 || c.NumTargets <= 0 {
+		return errors.New("sim: need at least one initiator and one target")
+	}
+	if len(c.Programs) != c.NumInitiators {
+		return fmt.Errorf("sim: %d programs for %d initiators", len(c.Programs), c.NumInitiators)
+	}
+	if c.Horizon <= 0 {
+		return errors.New("sim: Horizon must be positive")
+	}
+	if c.MemWait < 0 || c.ReqCycles <= 0 {
+		return errors.New("sim: MemWait must be >= 0 and ReqCycles > 0")
+	}
+	if c.MemWaitOf != nil {
+		if len(c.MemWaitOf) != c.NumTargets {
+			return fmt.Errorf("sim: MemWaitOf has %d entries, want %d", len(c.MemWaitOf), c.NumTargets)
+		}
+		for t, w := range c.MemWaitOf {
+			if w < 0 {
+				return fmt.Errorf("sim: MemWaitOf[%d] is negative", t)
+			}
+		}
+	}
+	if c.MaxOutstandingWrites < 0 {
+		return errors.New("sim: MaxOutstandingWrites must be >= 0")
+	}
+	if c.Req == nil || c.Resp == nil {
+		return errors.New("sim: both interconnect directions must be configured")
+	}
+	if c.Req.NumSenders != c.NumInitiators || c.Req.NumReceivers != c.NumTargets {
+		return fmt.Errorf("sim: request fabric is %d→%d, want %d→%d",
+			c.Req.NumSenders, c.Req.NumReceivers, c.NumInitiators, c.NumTargets)
+	}
+	if c.Resp.NumSenders != c.NumTargets || c.Resp.NumReceivers != c.NumInitiators {
+		return fmt.Errorf("sim: response fabric is %d→%d, want %d→%d",
+			c.Resp.NumSenders, c.Resp.NumReceivers, c.NumTargets, c.NumInitiators)
+	}
+	for i, prog := range c.Programs {
+		for pc, op := range prog {
+			switch op.Kind {
+			case OpRead, OpWrite:
+				if op.Burst <= 0 {
+					return fmt.Errorf("sim: core %d op %d: burst must be positive", i, pc)
+				}
+				fallthrough
+			case OpLock, OpUnlock, OpBarrier:
+				if op.Target < 0 || op.Target >= c.NumTargets {
+					return fmt.Errorf("sim: core %d op %d: target %d out of range", i, pc, op.Target)
+				}
+			case OpCompute:
+				if op.Cycles < 0 {
+					return fmt.Errorf("sim: core %d op %d: negative compute", i, pc)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Result is what a simulation run produces.
+type Result struct {
+	// Latency holds one sample per completed transaction (reads,
+	// writes, and the synchronization accesses).
+	Latency *stats.Recorder
+	// ReqTrace / RespTrace are the functional traces of the two
+	// directions (nil unless CollectTrace was set).
+	ReqTrace, RespTrace *trace.Trace
+	// ReqUtil / RespUtil are per-bus occupancy fractions.
+	ReqUtil, RespUtil []float64
+	// ReqGrants / RespGrants count transfers granted per bus.
+	ReqGrants, RespGrants []int64
+	// ReqBeats / RespBeats are total delivered data beats per
+	// direction; divided by EndCycle they give aggregate throughput in
+	// words per cycle (the metric a full crossbar maximizes).
+	ReqBeats, RespBeats int64
+	// Completed counts cores that ran their program to completion
+	// within the horizon.
+	Completed int
+	// EndCycle is the cycle the simulation stopped at.
+	EndCycle int64
+}
+
+// system is the runtime state of one simulation.
+type system struct {
+	cfg   *Config
+	eng   *Engine
+	req   *stbus.Fabric
+	resp  *stbus.Fabric
+	rec   *stats.Recorder
+	cores []*core
+	sems  map[int]*semaphore
+	bars  map[int]*barrier
+
+	reqEvents, respEvents []trace.Event
+}
+
+type core struct {
+	id      int
+	program []Op
+	pc      int
+	sys     *system
+	done    bool
+	// Posted-write state: remaining FIFO credits and whether the core
+	// is parked waiting for one.
+	writeCredits   int
+	awaitingCredit bool
+}
+
+type semaphore struct {
+	held  bool
+	owner int
+}
+
+type barrier struct {
+	arrived int
+	waiters []func()
+}
+
+// Run executes the simulation described by cfg and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LockRetry <= 0 {
+		cfg.LockRetry = 16
+	}
+	if cfg.PostedWrites && cfg.MaxOutstandingWrites == 0 {
+		cfg.MaxOutstandingWrites = 4
+	}
+	eng := NewEngine()
+	req, err := stbus.NewFabric(cfg.Req, eng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: request fabric: %w", err)
+	}
+	resp, err := stbus.NewFabric(cfg.Resp, eng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: response fabric: %w", err)
+	}
+	s := &system{
+		cfg:  &cfg,
+		eng:  eng,
+		req:  req,
+		resp: resp,
+		rec:  stats.NewRecorder(),
+		sems: map[int]*semaphore{},
+		bars: map[int]*barrier{},
+	}
+	for _, t := range cfg.SemTargets {
+		s.sems[t] = &semaphore{}
+	}
+	if cfg.CollectTrace {
+		req.Probe = func(ev trace.Event) { s.reqEvents = append(s.reqEvents, ev) }
+		resp.Probe = func(ev trace.Event) { s.respEvents = append(s.respEvents, ev) }
+	}
+	for i := 0; i < cfg.NumInitiators; i++ {
+		c := &core{id: i, program: cfg.Programs[i], sys: s, writeCredits: cfg.MaxOutstandingWrites}
+		s.cores = append(s.cores, c)
+		eng.At(0, c.step)
+	}
+	end := eng.Run(cfg.Horizon)
+
+	res := &Result{
+		Latency:    s.rec,
+		ReqUtil:    req.BusUtilization(end),
+		RespUtil:   resp.BusUtilization(end),
+		ReqGrants:  req.Grants(),
+		RespGrants: resp.Grants(),
+		ReqBeats:   req.DataBeats(),
+		RespBeats:  resp.DataBeats(),
+		EndCycle:   end,
+	}
+	for _, c := range s.cores {
+		if c.done {
+			res.Completed++
+		}
+	}
+	if cfg.CollectTrace {
+		res.ReqTrace = buildTrace(s.reqEvents, cfg.NumInitiators, cfg.NumTargets, end)
+		res.RespTrace = buildTrace(s.respEvents, cfg.NumTargets, cfg.NumInitiators, end)
+	}
+	return res, nil
+}
+
+// Throughput returns the aggregate delivered words per cycle over both
+// directions.
+func (r *Result) Throughput() float64 {
+	if r.EndCycle == 0 {
+		return 0
+	}
+	return float64(r.ReqBeats+r.RespBeats) / float64(r.EndCycle)
+}
+
+// buildTrace clamps collected events to the horizon and wraps them.
+func buildTrace(events []trace.Event, numSenders, numReceivers int, horizon int64) *trace.Trace {
+	kept := make([]trace.Event, 0, len(events))
+	for _, e := range events {
+		if e.Start >= horizon {
+			continue
+		}
+		if e.End() > horizon {
+			e.Len = horizon - e.Start
+		}
+		kept = append(kept, e)
+	}
+	return &trace.Trace{
+		NumSenders:   numSenders,
+		NumReceivers: numReceivers,
+		Horizon:      horizon,
+		Events:       kept,
+	}
+}
+
+// step advances the core's program until it blocks or finishes.
+func (c *core) step() {
+	s := c.sys
+	for c.pc < len(c.program) {
+		op := c.program[c.pc]
+		switch op.Kind {
+		case OpCompute:
+			c.pc++
+			if op.Cycles > 0 {
+				s.eng.After(op.Cycles, c.step)
+				return
+			}
+		case OpRead:
+			c.pc++
+			s.startRead(c, op)
+			return
+		case OpWrite:
+			if s.cfg.PostedWrites {
+				if c.writeCredits == 0 {
+					c.awaitingCredit = true
+					return // resumed when an ack frees a credit
+				}
+				c.writeCredits--
+				c.pc++
+				s.startWrite(c, op, false)
+				continue
+			}
+			c.pc++
+			s.startWrite(c, op, true)
+			return
+		case OpLock:
+			s.tryLock(c, op)
+			return
+		case OpUnlock:
+			c.pc++
+			s.doUnlock(c, op)
+			return
+		case OpBarrier:
+			c.pc++
+			s.arrive(c, op)
+			return
+		default:
+			panic(fmt.Sprintf("sim: unknown op kind %v", op.Kind))
+		}
+	}
+	c.done = true
+}
+
+// memWait returns the service latency of a target.
+func (s *system) memWait(target int) int64 {
+	if s.cfg.MemWaitOf != nil {
+		return s.cfg.MemWaitOf[target]
+	}
+	return s.cfg.MemWait
+}
+
+// startRead performs a blocking read transaction: request phase on the
+// initiator→target crossbar, the target's service latency, response
+// phase on the target→initiator crossbar, then the core resumes.
+func (s *system) startRead(c *core, op Op) {
+	issue := s.eng.Now()
+	respLen := op.Burst
+	s.req.Submit(&stbus.Transfer{
+		Sender:   c.id,
+		Receiver: op.Target,
+		Cycles:   s.cfg.ReqCycles,
+		Critical: op.Critical,
+		Done: func(reqDone int64) {
+			s.eng.At(reqDone+s.memWait(op.Target), func() {
+				s.resp.Submit(&stbus.Transfer{
+					Sender:   op.Target,
+					Receiver: c.id,
+					Cycles:   respLen,
+					Critical: op.Critical,
+					Done: func(respDone int64) {
+						s.rec.Add(stats.Sample{
+							Latency:   respDone - issue,
+							Packet:    respDone - respLen + 1 - issue,
+							Initiator: c.id,
+							Target:    op.Target,
+							Critical:  op.Critical,
+						})
+						c.step()
+					},
+				})
+			})
+		},
+	})
+}
+
+// startWrite performs a write transaction (address + data beats, then
+// a one-beat acknowledgement). With blocking set the core resumes when
+// the acknowledgement arrives; otherwise (a posted write) the ack only
+// returns a FIFO credit, unparking the core if it was waiting for one.
+func (s *system) startWrite(c *core, op Op, blocking bool) {
+	issue := s.eng.Now()
+	s.req.Submit(&stbus.Transfer{
+		Sender:   c.id,
+		Receiver: op.Target,
+		Cycles:   s.cfg.ReqCycles + op.Burst,
+		Critical: op.Critical,
+		Done: func(reqDone int64) {
+			s.eng.At(reqDone+s.memWait(op.Target), func() {
+				s.resp.Submit(&stbus.Transfer{
+					Sender:   op.Target,
+					Receiver: c.id,
+					Cycles:   1,
+					Critical: op.Critical,
+					Done: func(respDone int64) {
+						s.rec.Add(stats.Sample{
+							Latency:   respDone - issue,
+							Packet:    respDone - issue,
+							Initiator: c.id,
+							Target:    op.Target,
+							Critical:  op.Critical,
+						})
+						if blocking {
+							c.step()
+							return
+						}
+						c.writeCredits++
+						if c.awaitingCredit {
+							c.awaitingCredit = false
+							c.step()
+						}
+					},
+				})
+			})
+		},
+	})
+}
+
+// tryLock performs one read-modify-write attempt on a semaphore target
+// and either advances past the OpLock or backs off and retries. The
+// acquisition decision happens when the request is serviced at the
+// device, so attempts arbitrated earlier on the semaphore's bus win.
+func (s *system) tryLock(c *core, op Op) {
+	sem := s.sems[op.Target]
+	if sem == nil {
+		panic(fmt.Sprintf("sim: core %d locks target %d which is not a semaphore", c.id, op.Target))
+	}
+	issue := s.eng.Now()
+	s.req.Submit(&stbus.Transfer{
+		Sender:   c.id,
+		Receiver: op.Target,
+		Cycles:   s.cfg.ReqCycles,
+		Critical: op.Critical,
+		Done: func(reqDone int64) {
+			s.eng.At(reqDone+s.memWait(op.Target), func() {
+				acquired := !sem.held
+				if acquired {
+					sem.held = true
+					sem.owner = c.id
+				}
+				s.resp.Submit(&stbus.Transfer{
+					Sender:   op.Target,
+					Receiver: c.id,
+					Cycles:   1,
+					Critical: op.Critical,
+					Done: func(respDone int64) {
+						s.rec.Add(stats.Sample{
+							Latency:   respDone - issue,
+							Packet:    respDone - issue,
+							Initiator: c.id,
+							Target:    op.Target,
+							Critical:  op.Critical,
+						})
+						if acquired {
+							c.pc++
+							c.step()
+							return
+						}
+						// Staggered back-off keeps deterministic
+						// retries from livelocking in lockstep.
+						s.eng.After(s.cfg.LockRetry+int64(c.id), c.step)
+					},
+				})
+			})
+		},
+	})
+}
+
+// doUnlock releases the semaphore with a one-word write.
+func (s *system) doUnlock(c *core, op Op) {
+	sem := s.sems[op.Target]
+	if sem == nil {
+		panic(fmt.Sprintf("sim: core %d unlocks target %d which is not a semaphore", c.id, op.Target))
+	}
+	issue := s.eng.Now()
+	s.req.Submit(&stbus.Transfer{
+		Sender:   c.id,
+		Receiver: op.Target,
+		Cycles:   s.cfg.ReqCycles + 1,
+		Critical: op.Critical,
+		Done: func(reqDone int64) {
+			s.eng.At(reqDone+s.memWait(op.Target), func() {
+				if sem.held && sem.owner == c.id {
+					sem.held = false
+				}
+				s.resp.Submit(&stbus.Transfer{
+					Sender:   op.Target,
+					Receiver: c.id,
+					Cycles:   1,
+					Critical: op.Critical,
+					Done: func(respDone int64) {
+						s.rec.Add(stats.Sample{
+							Latency:   respDone - issue,
+							Packet:    respDone - issue,
+							Initiator: c.id,
+							Target:    op.Target,
+							Critical:  op.Critical,
+						})
+						c.step()
+					},
+				})
+			})
+		},
+	})
+}
+
+// arrive signals the interrupt device (a one-word write) and blocks the
+// core until every initiator has arrived at the same barrier ID.
+func (s *system) arrive(c *core, op Op) {
+	issue := s.eng.Now()
+	s.req.Submit(&stbus.Transfer{
+		Sender:   c.id,
+		Receiver: op.Target,
+		Cycles:   s.cfg.ReqCycles + 1,
+		Critical: op.Critical,
+		Done: func(reqDone int64) {
+			s.eng.At(reqDone+s.memWait(op.Target), func() {
+				s.resp.Submit(&stbus.Transfer{
+					Sender:   op.Target,
+					Receiver: c.id,
+					Cycles:   1,
+					Critical: op.Critical,
+					Done: func(respDone int64) {
+						s.rec.Add(stats.Sample{
+							Latency:   respDone - issue,
+							Packet:    respDone - issue,
+							Initiator: c.id,
+							Target:    op.Target,
+							Critical:  op.Critical,
+						})
+						b := s.bars[op.Barrier]
+						if b == nil {
+							b = &barrier{}
+							s.bars[op.Barrier] = b
+						}
+						b.arrived++
+						b.waiters = append(b.waiters, c.step)
+						if b.arrived == s.cfg.NumInitiators {
+							for _, w := range b.waiters {
+								s.eng.After(1, w)
+							}
+							delete(s.bars, op.Barrier)
+						}
+					},
+				})
+			})
+		},
+	})
+}

@@ -1,0 +1,239 @@
+package stbus
+
+import (
+	"container/heap"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// testClock is a minimal deterministic scheduler for fabric tests.
+type testClock struct {
+	now int64
+	pq  clockHeap
+	seq int64
+}
+
+type clockEvent struct {
+	cycle, seq int64
+	fn         func()
+}
+
+type clockHeap []clockEvent
+
+func (h clockHeap) Len() int { return len(h) }
+func (h clockHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h clockHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *clockHeap) Push(x any)   { *h = append(*h, x.(clockEvent)) }
+func (h *clockHeap) Pop() any {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+func (c *testClock) Now() int64 { return c.now }
+func (c *testClock) At(cycle int64, fn func()) {
+	if cycle < c.now {
+		cycle = c.now
+	}
+	heap.Push(&c.pq, clockEvent{cycle, c.seq, fn})
+	c.seq++
+}
+
+func (c *testClock) run() {
+	for c.pq.Len() > 0 {
+		ev := heap.Pop(&c.pq).(clockEvent)
+		c.now = ev.cycle
+		ev.fn()
+	}
+}
+
+func TestFabricImmediateGrant(t *testing.T) {
+	clk := &testClock{}
+	f, err := NewFabric(Full(2, 2), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var completed int64 = -1
+	f.Submit(&Transfer{Sender: 0, Receiver: 1, Cycles: 5, Done: func(c int64) { completed = c }})
+	clk.run()
+	if completed != 5 {
+		t.Errorf("completed at %d, want 5", completed)
+	}
+}
+
+func TestFabricSerializesSameBus(t *testing.T) {
+	clk := &testClock{}
+	f, err := NewFabric(Shared(2, 2), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneA, doneB int64
+	f.Submit(&Transfer{Sender: 0, Receiver: 0, Cycles: 10, Done: func(c int64) { doneA = c }})
+	f.Submit(&Transfer{Sender: 1, Receiver: 1, Cycles: 10, Done: func(c int64) { doneB = c }})
+	clk.run()
+	if doneA != 10 {
+		t.Errorf("first transfer completed at %d, want 10", doneA)
+	}
+	if doneB != 20 {
+		t.Errorf("second transfer completed at %d, want 20 (serialized)", doneB)
+	}
+}
+
+func TestFabricParallelBuses(t *testing.T) {
+	clk := &testClock{}
+	f, err := NewFabric(Full(2, 2), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneA, doneB int64
+	f.Submit(&Transfer{Sender: 0, Receiver: 0, Cycles: 10, Done: func(c int64) { doneA = c }})
+	f.Submit(&Transfer{Sender: 1, Receiver: 1, Cycles: 10, Done: func(c int64) { doneB = c }})
+	clk.run()
+	if doneA != 10 || doneB != 10 {
+		t.Errorf("completions %d,%d, want 10,10 (parallel buses)", doneA, doneB)
+	}
+}
+
+func TestFabricRoundRobinFairness(t *testing.T) {
+	clk := &testClock{}
+	cfg := Shared(3, 1)
+	cfg.Arbitration = RoundRobin
+	f, err := NewFabric(cfg, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	mk := func(sender int) *Transfer {
+		return &Transfer{Sender: sender, Receiver: 0, Cycles: 1, Done: func(int64) { order = append(order, sender) }}
+	}
+	// Sender 2 submits first and wins the idle bus; 1 and 0 queue.
+	// Round-robin after a grant to 2 prefers 0 over 1.
+	f.Submit(mk(2))
+	f.Submit(mk(1))
+	f.Submit(mk(0))
+	clk.run()
+	want := []int{2, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFabricFixedPriority(t *testing.T) {
+	clk := &testClock{}
+	cfg := Shared(3, 1)
+	cfg.Arbitration = FixedPriority
+	f, err := NewFabric(cfg, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	mk := func(sender int) *Transfer {
+		return &Transfer{Sender: sender, Receiver: 0, Cycles: 1, Done: func(int64) { order = append(order, sender) }}
+	}
+	f.Submit(mk(2)) // wins idle bus
+	f.Submit(mk(1))
+	f.Submit(mk(0))
+	clk.run()
+	want := []int{2, 0, 1}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFabricProbeRecordsEvents(t *testing.T) {
+	clk := &testClock{}
+	f, err := NewFabric(Shared(2, 2), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []trace.Event
+	f.Probe = func(ev trace.Event) { events = append(events, ev) }
+	f.Submit(&Transfer{Sender: 0, Receiver: 1, Cycles: 4, Critical: true})
+	f.Submit(&Transfer{Sender: 1, Receiver: 0, Cycles: 2})
+	clk.run()
+	if len(events) != 2 {
+		t.Fatalf("probe saw %d events, want 2", len(events))
+	}
+	if events[0] != (trace.Event{Start: 0, Len: 4, Sender: 0, Receiver: 1, Critical: true}) {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	if events[1] != (trace.Event{Start: 4, Len: 2, Sender: 1, Receiver: 0}) {
+		t.Errorf("event 1 = %+v (should start after first completes)", events[1])
+	}
+}
+
+func TestFabricUtilizationAndGrants(t *testing.T) {
+	clk := &testClock{}
+	f, err := NewFabric(Partial(1, []int{0, 1}), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Submit(&Transfer{Sender: 0, Receiver: 0, Cycles: 30})
+	f.Submit(&Transfer{Sender: 0, Receiver: 1, Cycles: 10})
+	clk.run()
+	util := f.BusUtilization(100)
+	if util[0] != 0.3 || util[1] != 0.1 {
+		t.Errorf("utilization = %v, want [0.3 0.1]", util)
+	}
+	grants := f.Grants()
+	if grants[0] != 1 || grants[1] != 1 {
+		t.Errorf("grants = %v, want [1 1]", grants)
+	}
+	if f.Pending() != 0 {
+		t.Errorf("pending = %d, want 0", f.Pending())
+	}
+}
+
+func TestFabricSubmitPanics(t *testing.T) {
+	clk := &testClock{}
+	f, _ := NewFabric(Shared(1, 1), clk)
+	for name, tr := range map[string]*Transfer{
+		"zero cycles":  {Sender: 0, Receiver: 0, Cycles: 0},
+		"bad receiver": {Sender: 0, Receiver: 5, Cycles: 1},
+		"bad sender":   {Sender: 9, Receiver: 0, Cycles: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f.Submit(tr)
+		}()
+	}
+}
+
+func TestNewFabricRejectsInvalidConfig(t *testing.T) {
+	cfg := &Config{NumSenders: 1, NumReceivers: 1, NumBuses: 0}
+	if _, err := NewFabric(cfg, &testClock{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFabricBackToBackGrants(t *testing.T) {
+	// Three queued transfers on one bus must occupy contiguous slots.
+	clk := &testClock{}
+	f, _ := NewFabric(Shared(1, 3), clk)
+	var events []trace.Event
+	f.Probe = func(ev trace.Event) { events = append(events, ev) }
+	for r := 0; r < 3; r++ {
+		f.Submit(&Transfer{Sender: 0, Receiver: r, Cycles: 7})
+	}
+	clk.run()
+	for i, ev := range events {
+		if ev.Start != int64(i)*7 {
+			t.Errorf("event %d starts at %d, want %d", i, ev.Start, i*7)
+		}
+	}
+}

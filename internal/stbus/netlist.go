@@ -1,0 +1,217 @@
+package stbus
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Netlist is a structural description of a complete STbus
+// instantiation (both directions): the buses, the per-bus arbiters,
+// and the adapter ports connecting cores to buses. It is the
+// "generated crossbar" artifact a downstream flow would consume —
+// serializable as JSON or as a structural-Verilog-style text.
+type Netlist struct {
+	Name     string        `json:"name"`
+	Request  DirectionNet  `json:"request"`  // initiator→target
+	Response DirectionNet  `json:"response"` // target→initiator
+	Summary  NetlistCounts `json:"summary"`
+}
+
+// DirectionNet describes one direction's crossbar.
+type DirectionNet struct {
+	Kind         string    `json:"kind"`
+	Arbitration  string    `json:"arbitration"`
+	NumSenders   int       `json:"num_senders"`
+	NumReceivers int       `json:"num_receivers"`
+	Buses        []BusInst `json:"buses"`
+}
+
+// BusInst is one bus with its arbiter and attached receiver ports.
+// Every sender of the direction connects to every bus (the STbus
+// crossbar structure), so sender ports are implicit in NumSenders.
+type BusInst struct {
+	Name      string `json:"name"`
+	Arbiter   string `json:"arbiter"`
+	Receivers []int  `json:"receivers"`
+}
+
+// NetlistCounts is the component inventory of the whole instantiation.
+type NetlistCounts struct {
+	Buses    int `json:"buses"`
+	Arbiters int `json:"arbiters"`
+	Adapters int `json:"adapters"`
+}
+
+// GenerateNetlist builds the structural netlist for a request/response
+// configuration pair.
+func GenerateNetlist(name string, req, resp *Config) (*Netlist, error) {
+	if err := req.Validate(); err != nil {
+		return nil, fmt.Errorf("stbus: request config: %w", err)
+	}
+	if err := resp.Validate(); err != nil {
+		return nil, fmt.Errorf("stbus: response config: %w", err)
+	}
+	comps := PairComponents(req, resp)
+	return &Netlist{
+		Name:     name,
+		Request:  directionNet("req", req),
+		Response: directionNet("resp", resp),
+		Summary: NetlistCounts{
+			Buses:    comps.Buses,
+			Arbiters: comps.Arbiters,
+			Adapters: comps.Adapters,
+		},
+	}, nil
+}
+
+func directionNet(prefix string, cfg *Config) DirectionNet {
+	net := DirectionNet{
+		Kind:         cfg.Kind.String(),
+		Arbitration:  cfg.Arbitration.String(),
+		NumSenders:   cfg.NumSenders,
+		NumReceivers: cfg.NumReceivers,
+	}
+	byBus := make([][]int, cfg.NumBuses)
+	for r, b := range cfg.BusOf {
+		byBus[b] = append(byBus[b], r)
+	}
+	for b, receivers := range byBus {
+		sort.Ints(receivers)
+		net.Buses = append(net.Buses, BusInst{
+			Name:      fmt.Sprintf("%s_bus%d", prefix, b),
+			Arbiter:   fmt.Sprintf("%s_arb%d", prefix, b),
+			Receivers: receivers,
+		})
+	}
+	return net
+}
+
+// WriteJSON serializes the netlist as indented JSON.
+func (n *Netlist) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(n)
+}
+
+// ReadNetlistJSON parses a netlist written by WriteJSON.
+func ReadNetlistJSON(r io.Reader) (*Netlist, error) {
+	var n Netlist
+	if err := json.NewDecoder(r).Decode(&n); err != nil {
+		return nil, fmt.Errorf("stbus: decoding netlist: %w", err)
+	}
+	return &n, nil
+}
+
+// WriteStructural renders the netlist in a structural-HDL-like text
+// form: one module per direction, bus and arbiter instances, and the
+// receiver port binding of each bus.
+func (n *Netlist) WriteStructural(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// STbus crossbar instantiation %q\n", n.Name)
+	fmt.Fprintf(&b, "// %d buses, %d arbiters, %d adapter ports\n\n",
+		n.Summary.Buses, n.Summary.Arbiters, n.Summary.Adapters)
+	for _, dir := range []struct {
+		label string
+		net   DirectionNet
+	}{{"request", n.Request}, {"response", n.Response}} {
+		fmt.Fprintf(&b, "module %s_%s_crossbar; // %s, %s arbitration\n",
+			sanitize(n.Name), dir.label, dir.net.Kind, dir.net.Arbitration)
+		for _, bus := range dir.net.Buses {
+			fmt.Fprintf(&b, "  stbus_node %s (.arbiter(%s));\n", bus.Name, bus.Arbiter)
+			for s := 0; s < dir.net.NumSenders; s++ {
+				fmt.Fprintf(&b, "    connect %s.initiator_port[%d] <- sender%d;\n", bus.Name, s, s)
+			}
+			for _, r := range bus.Receivers {
+				fmt.Fprintf(&b, "    connect %s.target_port -> receiver%d; // via adapter\n", bus.Name, r)
+			}
+		}
+		fmt.Fprintf(&b, "endmodule\n\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "xbar"
+	}
+	return b.String()
+}
+
+// Configs reconstructs the interconnect configurations from a netlist,
+// so a serialized design can be re-instantiated for validation. The
+// arbitration policy and kind are restored from their string forms;
+// unknown strings fall back to round-robin / partial.
+func (n *Netlist) Configs() (req, resp *Config, err error) {
+	req, err = n.Request.config()
+	if err != nil {
+		return nil, nil, fmt.Errorf("stbus: request netlist: %w", err)
+	}
+	resp, err = n.Response.config()
+	if err != nil {
+		return nil, nil, fmt.Errorf("stbus: response netlist: %w", err)
+	}
+	return req, resp, nil
+}
+
+func (d *DirectionNet) config() (*Config, error) {
+	numReceivers := d.NumReceivers
+	if numReceivers <= 0 || d.NumSenders <= 0 || len(d.Buses) == 0 {
+		return nil, errors.New("empty direction")
+	}
+	for _, bus := range d.Buses {
+		for _, r := range bus.Receivers {
+			if r < 0 || r >= numReceivers {
+				return nil, fmt.Errorf("receiver %d outside [0,%d)", r, numReceivers)
+			}
+		}
+	}
+	busOf := make([]int, numReceivers)
+	for i := range busOf {
+		busOf[i] = -1
+	}
+	for b, bus := range d.Buses {
+		for _, r := range bus.Receivers {
+			if busOf[r] != -1 {
+				return nil, fmt.Errorf("receiver %d attached twice", r)
+			}
+			busOf[r] = b
+		}
+	}
+	for r, b := range busOf {
+		if b == -1 {
+			return nil, fmt.Errorf("receiver %d unattached", r)
+		}
+	}
+	cfg := &Config{
+		NumSenders:   d.NumSenders,
+		NumReceivers: numReceivers,
+		NumBuses:     len(d.Buses),
+		BusOf:        busOf,
+	}
+	switch d.Kind {
+	case "shared":
+		cfg.Kind = SharedBus
+	case "full":
+		cfg.Kind = FullCrossbar
+	default:
+		cfg.Kind = PartialCrossbar
+	}
+	if d.Arbitration == "fixed-priority" {
+		cfg.Arbitration = FixedPriority
+	}
+	return cfg, cfg.Validate()
+}

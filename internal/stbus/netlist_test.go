@@ -1,0 +1,163 @@
+package stbus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenerateNetlist(t *testing.T) {
+	req := Partial(3, []int{0, 0, 1, 1})
+	resp := Full(4, 3)
+	n, err := GenerateNetlist("mat2 xbar", req, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Request.Buses) != 2 {
+		t.Errorf("request buses = %d, want 2", len(n.Request.Buses))
+	}
+	if len(n.Response.Buses) != 3 {
+		t.Errorf("response buses = %d, want 3", len(n.Response.Buses))
+	}
+	// Receiver partitioning: every receiver appears exactly once.
+	seen := map[int]int{}
+	for _, bus := range n.Request.Buses {
+		for _, r := range bus.Receivers {
+			seen[r]++
+		}
+	}
+	for r := 0; r < 4; r++ {
+		if seen[r] != 1 {
+			t.Errorf("receiver %d appears %d times in request netlist", r, seen[r])
+		}
+	}
+	wantComps := PairComponents(req, resp)
+	if n.Summary.Buses != wantComps.Buses || n.Summary.Arbiters != wantComps.Arbiters || n.Summary.Adapters != wantComps.Adapters {
+		t.Errorf("summary %+v does not match component count %+v", n.Summary, wantComps)
+	}
+}
+
+func TestGenerateNetlistRejectsInvalid(t *testing.T) {
+	bad := &Config{NumSenders: 1, NumReceivers: 1, NumBuses: 0}
+	if _, err := GenerateNetlist("x", bad, Full(1, 1)); err == nil {
+		t.Error("invalid request config accepted")
+	}
+	if _, err := GenerateNetlist("x", Full(1, 1), bad); err == nil {
+		t.Error("invalid response config accepted")
+	}
+}
+
+func TestNetlistJSONRoundTrip(t *testing.T) {
+	n, err := GenerateNetlist("x", Shared(2, 3), Full(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetlistJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != n.Name || len(back.Request.Buses) != len(n.Request.Buses) {
+		t.Error("JSON round trip lost structure")
+	}
+	if back.Summary != n.Summary {
+		t.Errorf("summary changed: %+v vs %+v", back.Summary, n.Summary)
+	}
+}
+
+func TestNetlistStructuralOutput(t *testing.T) {
+	n, err := GenerateNetlist("my design!", Partial(2, []int{0, 1, 0}), Full(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteStructural(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "module my_design__request_crossbar") {
+		t.Errorf("module name not sanitized/emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "req_bus0") || !strings.Contains(out, "req_arb1") {
+		t.Errorf("bus/arbiter instances missing:\n%s", out)
+	}
+	if strings.Count(out, "endmodule") != 2 {
+		t.Errorf("want 2 modules:\n%s", out)
+	}
+	// Every sender connects to every request bus: 2 senders × 2 buses.
+	if got := strings.Count(out, "initiator_port"); got < 4 {
+		t.Errorf("sender connections = %d, want >= 4:\n%s", got, out)
+	}
+}
+
+func TestReadNetlistJSONGarbage(t *testing.T) {
+	if _, err := ReadNetlistJSON(strings.NewReader("{oops")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize(""); got != "xbar" {
+		t.Errorf("empty name -> %q, want xbar", got)
+	}
+	if got := sanitize("a-b c9_Z"); got != "a_b_c9_Z" {
+		t.Errorf("sanitize = %q", got)
+	}
+}
+
+func TestNetlistConfigsRoundTrip(t *testing.T) {
+	req := Partial(3, []int{0, 1, 0, 2})
+	req.Arbitration = FixedPriority
+	resp := Full(4, 3)
+	n, err := GenerateNetlist("rt", req, resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ReadNetlistJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotReq, gotResp, err := parsed.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.NumBuses != 3 || gotReq.NumSenders != 3 || gotReq.NumReceivers != 4 {
+		t.Errorf("request config = %+v", gotReq)
+	}
+	for r, b := range req.BusOf {
+		if gotReq.BusOf[r] != b {
+			t.Errorf("receiver %d on bus %d, want %d", r, gotReq.BusOf[r], b)
+		}
+	}
+	if gotReq.Arbitration != FixedPriority {
+		t.Error("arbitration policy lost")
+	}
+	if gotResp.Kind != FullCrossbar || gotResp.NumBuses != 3 {
+		t.Errorf("response config = %+v", gotResp)
+	}
+}
+
+func TestNetlistConfigsRejectsCorrupt(t *testing.T) {
+	n, err := GenerateNetlist("x", Partial(2, []int{0, 1}), Full(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Receiver attached twice.
+	n.Request.Buses[0].Receivers = append(n.Request.Buses[0].Receivers, 1)
+	if _, _, err := n.Configs(); err == nil {
+		t.Error("double attachment accepted")
+	}
+	// Unattached receiver.
+	n2, _ := GenerateNetlist("y", Partial(2, []int{0, 1}), Full(2, 2))
+	n2.Request.Buses[1].Receivers = nil
+	if _, _, err := n2.Configs(); err == nil {
+		t.Error("unattached receiver accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package stbus provides a behavioural model of the STbus interconnect
+// in its three instantiation modes — shared bus, partial crossbar and
+// full crossbar (paper Section 3.1, Figure 1).
+//
+// One Fabric models one direction of communication. Following the
+// STbus crossbar structure, every sender is connected to every bus of
+// the fabric, while each receiver is attached to exactly one bus; a bus
+// carries one transfer at a time at one data word per cycle, so
+// concurrent transfers whose receivers share a bus serialize under the
+// bus arbiter. A complete system instantiates two fabrics: the
+// initiator→target crossbar (receivers are the targets) and the
+// target→initiator crossbar (receivers are the initiators).
+package stbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates the STbus instantiation modes.
+type Kind int
+
+const (
+	// SharedBus places every receiver on one bus.
+	SharedBus Kind = iota
+	// PartialCrossbar groups receivers onto a reduced set of buses.
+	PartialCrossbar
+	// FullCrossbar gives every receiver its own bus.
+	FullCrossbar
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SharedBus:
+		return "shared"
+	case PartialCrossbar:
+		return "partial"
+	case FullCrossbar:
+		return "full"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Policy selects the per-bus arbitration discipline.
+type Policy int
+
+const (
+	// RoundRobin grants pending senders in circular order (the STbus
+	// default used throughout the experiments).
+	RoundRobin Policy = iota
+	// FixedPriority always grants the lowest-numbered sender first.
+	FixedPriority
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case FixedPriority:
+		return "fixed-priority"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config describes one direction of the interconnect.
+type Config struct {
+	Kind         Kind
+	NumSenders   int
+	NumReceivers int
+	// NumBuses is the number of parallel buses in the crossbar.
+	NumBuses int
+	// BusOf[r] gives the bus index receiver r is attached to.
+	BusOf []int
+	// Arbitration is the per-bus arbitration policy.
+	Arbitration Policy
+	// AdapterDelay models the frequency/data-width adapters between
+	// heterogeneous cores and the bus: every transfer holds its bus
+	// for this many extra cycles while the adapter converts rates.
+	// Zero models homogeneous cores (the default).
+	AdapterDelay int64
+}
+
+// Shared returns a single-bus configuration.
+func Shared(numSenders, numReceivers int) *Config {
+	busOf := make([]int, numReceivers)
+	return &Config{
+		Kind:         SharedBus,
+		NumSenders:   numSenders,
+		NumReceivers: numReceivers,
+		NumBuses:     1,
+		BusOf:        busOf,
+	}
+}
+
+// Full returns a configuration with one bus per receiver.
+func Full(numSenders, numReceivers int) *Config {
+	busOf := make([]int, numReceivers)
+	for r := range busOf {
+		busOf[r] = r
+	}
+	return &Config{
+		Kind:         FullCrossbar,
+		NumSenders:   numSenders,
+		NumReceivers: numReceivers,
+		NumBuses:     numReceivers,
+		BusOf:        busOf,
+	}
+}
+
+// Partial returns a crossbar with the given receiver→bus binding.
+// The bus count is inferred as max(busOf)+1.
+func Partial(numSenders int, busOf []int) *Config {
+	numBuses := 0
+	for _, b := range busOf {
+		if b+1 > numBuses {
+			numBuses = b + 1
+		}
+	}
+	bound := make([]int, len(busOf))
+	copy(bound, busOf)
+	return &Config{
+		Kind:         PartialCrossbar,
+		NumSenders:   numSenders,
+		NumReceivers: len(busOf),
+		NumBuses:     numBuses,
+		BusOf:        bound,
+	}
+}
+
+// Validate checks structural invariants of the configuration.
+func (c *Config) Validate() error {
+	if c.NumSenders <= 0 {
+		return errors.New("stbus: NumSenders must be positive")
+	}
+	if c.NumReceivers <= 0 {
+		return errors.New("stbus: NumReceivers must be positive")
+	}
+	if c.NumBuses <= 0 {
+		return errors.New("stbus: NumBuses must be positive")
+	}
+	if len(c.BusOf) != c.NumReceivers {
+		return fmt.Errorf("stbus: BusOf has %d entries, want %d", len(c.BusOf), c.NumReceivers)
+	}
+	for r, b := range c.BusOf {
+		if b < 0 || b >= c.NumBuses {
+			return fmt.Errorf("stbus: receiver %d bound to bus %d outside [0,%d)", r, b, c.NumBuses)
+		}
+	}
+	if c.AdapterDelay < 0 {
+		return errors.New("stbus: AdapterDelay must be non-negative")
+	}
+	return nil
+}
+
+// Components is the interconnect resource inventory used for the
+// paper's size comparisons (Table 1's size ratio counts buses; the
+// arbiter and adapter counts quantify the "communication components"
+// savings the introduction cites).
+type Components struct {
+	Buses    int
+	Arbiters int // one per bus
+	Adapters int // one frequency/width adapter per attached core port
+}
+
+// Total returns the summed component count.
+func (c Components) Total() int { return c.Buses + c.Arbiters + c.Adapters }
+
+// ComponentCount inventories one fabric: each bus has an arbiter, each
+// sender has an adapter port onto every bus, and each receiver one
+// adapter onto its bus.
+func (c *Config) ComponentCount() Components {
+	return Components{
+		Buses:    c.NumBuses,
+		Arbiters: c.NumBuses,
+		Adapters: c.NumSenders*c.NumBuses + c.NumReceivers,
+	}
+}
+
+// PairComponents sums the component inventories of the two directions
+// of a complete STbus instantiation.
+func PairComponents(req, resp *Config) Components {
+	a, b := req.ComponentCount(), resp.ComponentCount()
+	return Components{
+		Buses:    a.Buses + b.Buses,
+		Arbiters: a.Arbiters + b.Arbiters,
+		Adapters: a.Adapters + b.Adapters,
+	}
+}

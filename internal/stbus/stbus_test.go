@@ -1,0 +1,118 @@
+package stbus
+
+import "testing"
+
+func TestSharedConfig(t *testing.T) {
+	c := Shared(4, 6)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBuses != 1 {
+		t.Errorf("NumBuses = %d, want 1", c.NumBuses)
+	}
+	for r, b := range c.BusOf {
+		if b != 0 {
+			t.Errorf("receiver %d on bus %d, want 0", r, b)
+		}
+	}
+	if c.Kind != SharedBus {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+}
+
+func TestFullConfig(t *testing.T) {
+	c := Full(3, 5)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBuses != 5 {
+		t.Errorf("NumBuses = %d, want 5", c.NumBuses)
+	}
+	for r, b := range c.BusOf {
+		if b != r {
+			t.Errorf("receiver %d on bus %d, want %d", r, b, r)
+		}
+	}
+}
+
+func TestPartialConfig(t *testing.T) {
+	c := Partial(2, []int{0, 1, 0, 2, 1})
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBuses != 3 {
+		t.Errorf("NumBuses = %d, want 3", c.NumBuses)
+	}
+	if c.NumReceivers != 5 {
+		t.Errorf("NumReceivers = %d, want 5", c.NumReceivers)
+	}
+}
+
+func TestPartialCopiesBinding(t *testing.T) {
+	busOf := []int{0, 1}
+	c := Partial(2, busOf)
+	busOf[0] = 1
+	if c.BusOf[0] != 0 {
+		t.Error("Partial aliases caller slice")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no senders", Config{NumSenders: 0, NumReceivers: 1, NumBuses: 1, BusOf: []int{0}}},
+		{"no receivers", Config{NumSenders: 1, NumReceivers: 0, NumBuses: 1, BusOf: []int{}}},
+		{"no buses", Config{NumSenders: 1, NumReceivers: 1, NumBuses: 0, BusOf: []int{0}}},
+		{"busof length", Config{NumSenders: 1, NumReceivers: 2, NumBuses: 1, BusOf: []int{0}}},
+		{"bus out of range", Config{NumSenders: 1, NumReceivers: 1, NumBuses: 1, BusOf: []int{1}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestComponentCount(t *testing.T) {
+	c := Full(9, 12)
+	comps := c.ComponentCount()
+	if comps.Buses != 12 || comps.Arbiters != 12 {
+		t.Errorf("Buses/Arbiters = %d/%d, want 12/12", comps.Buses, comps.Arbiters)
+	}
+	if comps.Adapters != 9*12+12 {
+		t.Errorf("Adapters = %d, want %d", comps.Adapters, 9*12+12)
+	}
+	if comps.Total() != comps.Buses+comps.Arbiters+comps.Adapters {
+		t.Error("Total mismatch")
+	}
+}
+
+func TestPairComponentsMat2FullVsShared(t *testing.T) {
+	// The paper's Table 1 size ratio normalizes by buses: a full
+	// crossbar for Mat2 (9 initiators, 12 targets) has 12+9=21 buses
+	// against the shared configuration's 2, giving the paper's 10.5×.
+	full := PairComponents(Full(9, 12), Full(12, 9))
+	shared := PairComponents(Shared(9, 12), Shared(12, 9))
+	if full.Buses != 21 {
+		t.Errorf("full buses = %d, want 21", full.Buses)
+	}
+	if shared.Buses != 2 {
+		t.Errorf("shared buses = %d, want 2", shared.Buses)
+	}
+	if ratio := float64(full.Buses) / float64(shared.Buses); ratio != 10.5 {
+		t.Errorf("size ratio = %f, want 10.5", ratio)
+	}
+}
+
+func TestKindPolicyStrings(t *testing.T) {
+	if SharedBus.String() != "shared" || PartialCrossbar.String() != "partial" || FullCrossbar.String() != "full" {
+		t.Error("Kind.String mismatch")
+	}
+	if RoundRobin.String() != "round-robin" || FixedPriority.String() != "fixed-priority" {
+		t.Error("Policy.String mismatch")
+	}
+}

@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ds"
+)
+
+// Analysis is the window-based view of a trace (paper Definitions 1–2).
+// All per-window quantities are measured in cycles.
+type Analysis struct {
+	// NumReceivers is copied from the analyzed trace.
+	NumReceivers int
+	// Boundaries holds the window edges: window m spans
+	// [Boundaries[m], Boundaries[m+1]). len(Boundaries) == NumWindows+1.
+	Boundaries []int64
+	// Comm[i][m] is the number of cycles receiver i receives data in
+	// window m (paper comm_{i,m}).
+	Comm *ds.Int64Matrix
+	// CritComm[i][m] is the same restricted to critical transfers.
+	CritComm *ds.Int64Matrix
+	// Overlap holds, for every unordered receiver pair (i,j), the
+	// per-window overlap wo_{i,j,m}: Overlap[pairIndex(i,j)][m].
+	Overlap *ds.Int64Matrix
+	// CritOverlap is the per-window overlap restricted to cycles where
+	// both receivers carry critical traffic.
+	CritOverlap *ds.Int64Matrix
+	// OM is the aggregate overlap matrix om_{i,j} = Σ_m wo_{i,j,m}
+	// (paper Eq. 1).
+	OM *ds.SymMatrix
+}
+
+// NumWindows returns the number of analysis windows.
+func (a *Analysis) NumWindows() int { return len(a.Boundaries) - 1 }
+
+// WindowLen returns the length in cycles of window m.
+func (a *Analysis) WindowLen(m int) int64 { return a.Boundaries[m+1] - a.Boundaries[m] }
+
+// PairIndex maps an unordered receiver pair to its Overlap row.
+func (a *Analysis) PairIndex(i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	return i*(2*a.NumReceivers-i-1)/2 + (j - i - 1)
+}
+
+// PairOverlap returns wo_{i,j,m}.
+func (a *Analysis) PairOverlap(i, j, m int) int64 {
+	if i == j {
+		return 0
+	}
+	return a.Overlap.At(a.PairIndex(i, j), m)
+}
+
+// PairCritOverlap returns the critical-stream overlap of (i,j) in window m.
+func (a *Analysis) PairCritOverlap(i, j, m int) int64 {
+	if i == j {
+		return 0
+	}
+	return a.CritOverlap.At(a.PairIndex(i, j), m)
+}
+
+// Analyze divides the trace into fixed-size windows of ws cycles (the
+// last window may be shorter if the horizon is not a multiple) and
+// computes the per-window traffic characteristics.
+func Analyze(tr *Trace, ws int64) (*Analysis, error) {
+	if ws <= 0 {
+		return nil, errors.New("trace: window size must be positive")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	numWindows := int((tr.Horizon + ws - 1) / ws)
+	boundaries := make([]int64, numWindows+1)
+	for m := 0; m <= numWindows; m++ {
+		b := int64(m) * ws
+		if b > tr.Horizon {
+			b = tr.Horizon
+		}
+		boundaries[m] = b
+	}
+	return AnalyzeWithBoundaries(tr, boundaries)
+}
+
+// AnalyzeWithBoundaries performs the window analysis with explicit
+// window edges, supporting the variable-window-size extension the
+// paper lists as future work. Boundaries must be strictly increasing,
+// start at 0 and end at the trace horizon.
+func AnalyzeWithBoundaries(tr *Trace, boundaries []int64) (*Analysis, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(boundaries) < 2 {
+		return nil, errors.New("trace: need at least one window")
+	}
+	if boundaries[0] != 0 {
+		return nil, errors.New("trace: first boundary must be 0")
+	}
+	if boundaries[len(boundaries)-1] != tr.Horizon {
+		return nil, fmt.Errorf("trace: last boundary %d must equal horizon %d", boundaries[len(boundaries)-1], tr.Horizon)
+	}
+	for m := 1; m < len(boundaries); m++ {
+		if boundaries[m] <= boundaries[m-1] {
+			return nil, errors.New("trace: boundaries must be strictly increasing")
+		}
+	}
+
+	nT := tr.NumReceivers
+	nW := len(boundaries) - 1
+	nPairs := nT * (nT - 1) / 2
+
+	a := &Analysis{
+		NumReceivers: nT,
+		Boundaries:   boundaries,
+		Comm:         ds.NewInt64Matrix(nT, nW),
+		CritComm:     ds.NewInt64Matrix(nT, nW),
+		Overlap:      ds.NewInt64Matrix(nPairs, nW),
+		CritOverlap:  ds.NewInt64Matrix(nPairs, nW),
+		OM:           ds.NewSymMatrix(nT),
+	}
+
+	busy, critical := tr.busyByReceiver()
+
+	for i := 0; i < nT; i++ {
+		for m := 0; m < nW; m++ {
+			a.Comm.Set(i, m, busy[i].ClipLen(boundaries[m], boundaries[m+1]))
+			a.CritComm.Set(i, m, critical[i].ClipLen(boundaries[m], boundaries[m+1]))
+		}
+	}
+
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			inter := busy[i].Intersection(busy[j])
+			critInter := critical[i].Intersection(critical[j])
+			row := a.PairIndex(i, j)
+			var total int64
+			for m := 0; m < nW; m++ {
+				ov := inter.ClipLen(boundaries[m], boundaries[m+1])
+				a.Overlap.Set(row, m, ov)
+				total += ov
+				a.CritOverlap.Set(row, m, critInter.ClipLen(boundaries[m], boundaries[m+1]))
+			}
+			if total > 0 {
+				a.OM.Set(i, j, total)
+			}
+		}
+	}
+	return a, nil
+}
+
+// MaxWindowLoad returns, over all windows, the maximum of the summed
+// receiver loads divided into the window length — i.e. the peak number
+// of fully-loaded buses any single window demands. It is a lower bound
+// on the feasible bus count (used to seed the binary search).
+func (a *Analysis) MaxWindowLoad() int {
+	best := 1
+	for m := 0; m < a.NumWindows(); m++ {
+		var sum int64
+		for i := 0; i < a.NumReceivers; i++ {
+			sum += a.Comm.At(i, m)
+		}
+		wl := a.WindowLen(m)
+		need := int((sum + wl - 1) / wl)
+		if need > best {
+			best = need
+		}
+	}
+	return best
+}
+
+// SingleWindow collapses the analysis to one window spanning the whole
+// trace. This reproduces the "average communication traffic" design
+// point of prior work that the paper compares against (Section 2).
+func SingleWindow(tr *Trace) (*Analysis, error) {
+	return AnalyzeWithBoundaries(tr, []int64{0, tr.Horizon})
+}

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace format:
+//
+//	magic   [4]byte "STBT"
+//	version uint32  (1)
+//	numReceivers, numSenders uint32
+//	horizon uint64
+//	numEvents uint64
+//	events: start uint64, len uint64, sender uint32, receiver uint32, flags uint8
+//
+// All integers little-endian. The JSON form mirrors the Trace struct
+// and is intended for human inspection and tooling interchange.
+
+var binaryMagic = [4]byte{'S', 'T', 'B', 'T'}
+
+const binaryVersion = 1
+
+// WriteBinary serializes the trace in the compact binary format.
+func WriteBinary(w io.Writer, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := []any{
+		uint32(binaryVersion),
+		uint32(tr.NumReceivers),
+		uint32(tr.NumSenders),
+		uint64(tr.Horizon),
+		uint64(len(tr.Events)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	var buf [25]byte
+	for _, e := range tr.Events {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(e.Start))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(e.Len))
+		binary.LittleEndian.PutUint32(buf[16:], uint32(e.Sender))
+		binary.LittleEndian.PutUint32(buf[20:], uint32(e.Receiver))
+		buf[24] = 0
+		if e.Critical {
+			buf[24] = 1
+		}
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, errors.New("trace: bad magic, not a binary trace file")
+	}
+	var version, numReceivers, numSenders uint32
+	var horizon, numEvents uint64
+	for _, p := range []any{&version, &numReceivers, &numSenders, &horizon, &numEvents} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("trace: reading header: %w", err)
+		}
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	const maxEvents = 1 << 28 // sanity bound against corrupt headers
+	if numEvents > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", numEvents)
+	}
+	tr := &Trace{
+		NumReceivers: int(numReceivers),
+		NumSenders:   int(numSenders),
+		Horizon:      int64(horizon),
+		Events:       make([]Event, numEvents),
+	}
+	var buf [25]byte
+	for i := range tr.Events {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		tr.Events[i] = Event{
+			Start:    int64(binary.LittleEndian.Uint64(buf[0:])),
+			Len:      int64(binary.LittleEndian.Uint64(buf[8:])),
+			Sender:   int(binary.LittleEndian.Uint32(buf[16:])),
+			Receiver: int(binary.LittleEndian.Uint32(buf[20:])),
+			Critical: buf[24] != 0,
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// jsonTrace is the JSON wire form of a Trace.
+type jsonTrace struct {
+	NumReceivers int         `json:"num_receivers"`
+	NumSenders   int         `json:"num_senders"`
+	Horizon      int64       `json:"horizon"`
+	Events       []jsonEvent `json:"events"`
+}
+
+type jsonEvent struct {
+	Start    int64 `json:"start"`
+	Len      int64 `json:"len"`
+	Sender   int   `json:"sender"`
+	Receiver int   `json:"receiver"`
+	Critical bool  `json:"critical,omitempty"`
+}
+
+// WriteJSON serializes the trace as JSON.
+func WriteJSON(w io.Writer, tr *Trace) error {
+	if err := tr.Validate(); err != nil {
+		return err
+	}
+	jt := jsonTrace{
+		NumReceivers: tr.NumReceivers,
+		NumSenders:   tr.NumSenders,
+		Horizon:      tr.Horizon,
+		Events:       make([]jsonEvent, len(tr.Events)),
+	}
+	for i, e := range tr.Events {
+		jt.Events[i] = jsonEvent(e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&jt)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	tr := &Trace{
+		NumReceivers: jt.NumReceivers,
+		NumSenders:   jt.NumSenders,
+		Horizon:      jt.Horizon,
+		Events:       make([]Event, len(jt.Events)),
+	}
+	for i, e := range jt.Events {
+		tr.Events[i] = Event(e)
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func randomTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{
+		NumReceivers: 1 + rng.Intn(8),
+		NumSenders:   1 + rng.Intn(8),
+		Horizon:      1000,
+	}
+	for e := 0; e < rng.Intn(50); e++ {
+		start := int64(rng.Intn(900))
+		tr.Events = append(tr.Events, Event{
+			Start:    start,
+			Len:      1 + int64(rng.Intn(99)),
+			Sender:   rng.Intn(tr.NumSenders),
+			Receiver: rng.Intn(tr.NumReceivers),
+			Critical: rng.Intn(3) == 0,
+		})
+	}
+	return tr
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := randomTrace(seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatalf("seed %d: WriteBinary: %v", seed, err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: ReadBinary: %v", seed, err)
+		}
+		if !reflect.DeepEqual(normalize(tr), normalize(got)) {
+			t.Fatalf("seed %d: round trip mismatch", seed)
+		}
+	}
+}
+
+// normalize maps a nil event slice to an empty one for comparison.
+func normalize(tr *Trace) *Trace {
+	out := *tr
+	if out.Events == nil {
+		out.Events = []Event{}
+	}
+	return &out
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := randomTrace(seed)
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, tr); err != nil {
+			t.Fatalf("seed %d: WriteJSON: %v", seed, err)
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: ReadJSON: %v", seed, err)
+		}
+		if !reflect.DeepEqual(normalize(tr), normalize(got)) {
+			t.Fatalf("seed %d: round trip mismatch", seed)
+		}
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("NOPE additional garbage data")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	tr := randomTrace(3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{2, 10, len(full) - 3} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestWriteBinaryRejectsInvalid(t *testing.T) {
+	tr := &Trace{NumReceivers: 0, NumSenders: 1, Horizon: 10}
+	if err := WriteBinary(&bytes.Buffer{}, tr); err == nil {
+		t.Error("invalid trace accepted by WriteBinary")
+	}
+	if err := WriteJSON(&bytes.Buffer{}, tr); err == nil {
+		t.Error("invalid trace accepted by WriteJSON")
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{nope")); err == nil {
+		t.Error("garbage JSON accepted")
+	}
+}

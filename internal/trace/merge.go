@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ds"
+)
+
+// MergeAnalyses combines the windowed analyses of several traffic
+// scenarios over the *same platform* (equal receiver counts) into one
+// design problem, enabling multi-use-case crossbar design: a binding
+// feasible for the merged analysis satisfies the per-window bandwidth
+// constraint of every window of every scenario, the conflict
+// pre-processing sees every scenario's overlaps, and the binding
+// objective minimizes the summed aggregate overlap.
+//
+// Mechanically the scenarios' windows are concatenated (window
+// constraints are per-window and independent, so the union of window
+// sets is exactly the intersection of the scenarios' feasible sets)
+// and their aggregate overlap matrices are added. Boundaries are
+// re-based onto a synthetic concatenated timeline.
+func MergeAnalyses(analyses ...*Analysis) (*Analysis, error) {
+	if len(analyses) == 0 {
+		return nil, errors.New("trace: nothing to merge")
+	}
+	if len(analyses) == 1 {
+		return analyses[0], nil
+	}
+	nT := analyses[0].NumReceivers
+	totalWindows := 0
+	for i, a := range analyses {
+		if a.NumReceivers != nT {
+			return nil, fmt.Errorf("trace: scenario %d has %d receivers, want %d", i, a.NumReceivers, nT)
+		}
+		totalWindows += a.NumWindows()
+	}
+
+	merged := &Analysis{
+		NumReceivers: nT,
+		Boundaries:   make([]int64, 1, totalWindows+1),
+		Comm:         concatRows(nT, totalWindows, analyses, func(a *Analysis) matrixView { return a.Comm.At }),
+		CritComm:     concatRows(nT, totalWindows, analyses, func(a *Analysis) matrixView { return a.CritComm.At }),
+		OM:           analyses[0].OM.Clone(),
+	}
+	nPairs := nT * (nT - 1) / 2
+	merged.Overlap = concatRows(nPairs, totalWindows, analyses, func(a *Analysis) matrixView { return a.Overlap.At })
+	merged.CritOverlap = concatRows(nPairs, totalWindows, analyses, func(a *Analysis) matrixView { return a.CritOverlap.At })
+
+	// Concatenated timeline boundaries.
+	offset := int64(0)
+	for _, a := range analyses {
+		for m := 0; m < a.NumWindows(); m++ {
+			offset += a.WindowLen(m)
+			merged.Boundaries = append(merged.Boundaries, offset)
+		}
+	}
+	// Sum the aggregate overlap matrices of the remaining scenarios.
+	for _, a := range analyses[1:] {
+		for i := 0; i < nT; i++ {
+			for j := i + 1; j < nT; j++ {
+				if v := a.OM.At(i, j); v != 0 {
+					merged.OM.AddAt(i, j, v)
+				}
+			}
+		}
+	}
+	return merged, nil
+}
+
+type matrixView func(r, c int) int64
+
+// concatRows builds a rows×totalWindows matrix whose columns are the
+// scenarios' windows concatenated in order.
+func concatRows(rows, totalWindows int, analyses []*Analysis, view func(*Analysis) matrixView) *ds.Int64Matrix {
+	out := ds.NewInt64Matrix(rows, totalWindows)
+	col := 0
+	for _, a := range analyses {
+		at := view(a)
+		for m := 0; m < a.NumWindows(); m++ {
+			for r := 0; r < rows; r++ {
+				out.Set(r, col, at(r, m))
+			}
+			col++
+		}
+	}
+	return out
+}

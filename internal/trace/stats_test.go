@@ -1,0 +1,148 @@
+package trace
+
+import "testing"
+
+func TestDutyCycles(t *testing.T) {
+	tr := &Trace{
+		NumReceivers: 2,
+		NumSenders:   1,
+		Horizon:      100,
+		Events: []Event{
+			{Start: 0, Len: 25, Receiver: 0},
+			{Start: 50, Len: 25, Receiver: 0},
+			{Start: 0, Len: 10, Receiver: 1},
+		},
+	}
+	duty := tr.DutyCycles()
+	if duty[0] != 0.5 {
+		t.Errorf("duty[0] = %f, want 0.5", duty[0])
+	}
+	if duty[1] != 0.1 {
+		t.Errorf("duty[1] = %f, want 0.1", duty[1])
+	}
+}
+
+func TestPeakWindowDuty(t *testing.T) {
+	tr := &Trace{
+		NumReceivers: 1,
+		NumSenders:   1,
+		Horizon:      100,
+		Events:       []Event{{Start: 0, Len: 10, Receiver: 0}},
+	}
+	peak, err := tr.PeakWindowDuty(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak[0] != 1.0 {
+		t.Errorf("peak = %f, want 1.0 (fully busy first window)", peak[0])
+	}
+	avg := tr.DutyCycles()
+	if avg[0] != 0.1 {
+		t.Errorf("avg duty = %f, want 0.1", avg[0])
+	}
+}
+
+func TestOverlapFractions(t *testing.T) {
+	tr := &Trace{
+		NumReceivers: 3,
+		NumSenders:   1,
+		Horizon:      100,
+		Events: []Event{
+			{Start: 0, Len: 40, Receiver: 0},
+			{Start: 20, Len: 20, Receiver: 1}, // fully inside receiver 0
+			{Start: 90, Len: 10, Receiver: 2}, // disjoint
+		},
+	}
+	ov := tr.OverlapFractions()
+	if got := ov.At(0, 1); got != 1.0 {
+		t.Errorf("overlap(0,1) = %f, want 1.0 (lighter fully covered)", got)
+	}
+	if got := ov.At(0, 2); got != 0 {
+		t.Errorf("overlap(0,2) = %f, want 0", got)
+	}
+	if got := ov.At(1, 0); got != ov.At(0, 1) {
+		t.Error("overlap fractions not symmetric")
+	}
+}
+
+func TestOverlapFractionsIdleReceiver(t *testing.T) {
+	tr := &Trace{
+		NumReceivers: 2,
+		NumSenders:   1,
+		Horizon:      100,
+		Events:       []Event{{Start: 0, Len: 10, Receiver: 0}},
+	}
+	if got := tr.OverlapFractions().At(0, 1); got != 0 {
+		t.Errorf("overlap with idle receiver = %f, want 0", got)
+	}
+}
+
+func TestBurstHistogram(t *testing.T) {
+	tr := &Trace{
+		NumReceivers: 1,
+		NumSenders:   1,
+		Horizon:      10000,
+		Events: []Event{
+			{Start: 0, Len: 1, Receiver: 0},     // bucket >=1
+			{Start: 100, Len: 3, Receiver: 0},   // bucket >=2
+			{Start: 200, Len: 100, Receiver: 0}, // bucket >=64
+			{Start: 400, Len: 999, Receiver: 0}, // last bucket (open)
+		},
+	}
+	bounds, counts := tr.BurstHistogram(1, 8)
+	if len(bounds) != 8 || bounds[0] != 1 || bounds[7] != 128 {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	if counts[0] != 1 { // len 1
+		t.Errorf("counts[>=1] = %d, want 1", counts[0])
+	}
+	if counts[1] != 1 { // len 3 in [2,4)
+		t.Errorf("counts[>=2] = %d, want 1", counts[1])
+	}
+	if counts[6] != 1 { // len 100 in [64,128)
+		t.Errorf("counts[>=64] = %d, want 1", counts[6])
+	}
+	if counts[7] != 1 { // len 999 open-ended
+		t.Errorf("counts[>=128] = %d, want 1", counts[7])
+	}
+}
+
+func TestBurstHistogramDegenerateParams(t *testing.T) {
+	tr := &Trace{NumReceivers: 1, NumSenders: 1, Horizon: 10,
+		Events: []Event{{Start: 0, Len: 5, Receiver: 0}}}
+	bounds, counts := tr.BurstHistogram(0, 0)
+	if len(bounds) != 1 || len(counts) != 1 {
+		t.Fatalf("degenerate params not clamped: %v %v", bounds, counts)
+	}
+	if counts[0] != 1 {
+		t.Errorf("counts = %v, want [1]", counts)
+	}
+}
+
+func TestWindowSizeHint(t *testing.T) {
+	tr := &Trace{
+		NumReceivers: 1,
+		NumSenders:   1,
+		Horizon:      10000,
+		Events: []Event{
+			{Start: 0, Len: 100, Receiver: 0},
+			{Start: 500, Len: 300, Receiver: 0},
+		},
+	}
+	if got := tr.WindowSizeHint(); got != 400 { // 2 × mean(200)
+		t.Errorf("hint = %d, want 400", got)
+	}
+	empty := &Trace{NumReceivers: 1, NumSenders: 1, Horizon: 500}
+	if got := empty.WindowSizeHint(); got != 5 {
+		t.Errorf("empty-trace hint = %d, want 5 (1%% of horizon)", got)
+	}
+	tiny := &Trace{NumReceivers: 1, NumSenders: 1, Horizon: 10}
+	if got := tiny.WindowSizeHint(); got < 1 || got > 10 {
+		t.Errorf("tiny-trace hint = %d outside [1,10]", got)
+	}
+	long := &Trace{NumReceivers: 1, NumSenders: 1, Horizon: 100,
+		Events: []Event{{Start: 0, Len: 90, Receiver: 0}}}
+	if got := long.WindowSizeHint(); got != 100 {
+		t.Errorf("hint = %d, want clamped to horizon 100", got)
+	}
+}

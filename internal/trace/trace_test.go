@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+)
+
+func validTrace() *Trace {
+	return &Trace{
+		NumReceivers: 3,
+		NumSenders:   2,
+		Horizon:      100,
+		Events: []Event{
+			{Start: 0, Len: 10, Sender: 0, Receiver: 0},
+			{Start: 5, Len: 10, Sender: 1, Receiver: 1},
+			{Start: 50, Len: 5, Sender: 0, Receiver: 2, Critical: true},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"no receivers", func(tr *Trace) { tr.NumReceivers = 0 }},
+		{"no senders", func(tr *Trace) { tr.NumSenders = 0 }},
+		{"zero horizon", func(tr *Trace) { tr.Horizon = 0 }},
+		{"receiver out of range", func(tr *Trace) { tr.Events[0].Receiver = 3 }},
+		{"negative receiver", func(tr *Trace) { tr.Events[0].Receiver = -1 }},
+		{"sender out of range", func(tr *Trace) { tr.Events[1].Sender = 2 }},
+		{"zero length event", func(tr *Trace) { tr.Events[0].Len = 0 }},
+		{"event past horizon", func(tr *Trace) { tr.Events[2].Start = 96 }},
+		{"negative start", func(tr *Trace) { tr.Events[0].Start = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tr := validTrace()
+			c.mutate(tr)
+			if err := tr.Validate(); err == nil {
+				t.Errorf("expected validation error")
+			}
+		})
+	}
+}
+
+func TestTotalCycles(t *testing.T) {
+	tr := validTrace()
+	got := tr.TotalCycles()
+	want := []int64{10, 10, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("TotalCycles[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBursts(t *testing.T) {
+	tr := &Trace{
+		NumReceivers: 2,
+		NumSenders:   1,
+		Horizon:      1000,
+		Events: []Event{
+			// Receiver 0: two back-to-back events forming one 20-cycle burst.
+			{Start: 0, Len: 10, Sender: 0, Receiver: 0},
+			{Start: 10, Len: 10, Sender: 0, Receiver: 0},
+			// Receiver 0: separate 5-cycle burst.
+			{Start: 100, Len: 5, Sender: 0, Receiver: 0},
+			// Receiver 1: one 30-cycle burst.
+			{Start: 200, Len: 30, Sender: 0, Receiver: 1},
+		},
+	}
+	st := tr.Bursts()
+	if st.Count != 3 {
+		t.Errorf("Count = %d, want 3", st.Count)
+	}
+	if st.MaxLen != 30 {
+		t.Errorf("MaxLen = %d, want 30", st.MaxLen)
+	}
+	wantMean := (20.0 + 5.0 + 30.0) / 3.0
+	if st.MeanLen != wantMean {
+		t.Errorf("MeanLen = %f, want %f", st.MeanLen, wantMean)
+	}
+}
+
+func TestBurstsEmptyTrace(t *testing.T) {
+	tr := &Trace{NumReceivers: 1, NumSenders: 1, Horizon: 10}
+	st := tr.Bursts()
+	if st.Count != 0 || st.MeanLen != 0 || st.MaxLen != 0 {
+		t.Errorf("empty trace burst stats = %+v, want zeros", st)
+	}
+}

@@ -1,0 +1,256 @@
+// Package vcd writes Value Change Dump (IEEE 1364) waveform files of
+// the interconnect activity, viewable in standard EDA waveform viewers
+// (GTKWave etc.). The dump is reconstructed from a functional traffic
+// trace: per-bus busy wires and per-receiver activity wires for each
+// direction of the STbus instantiation.
+package vcd
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stbus"
+	"repro/internal/trace"
+)
+
+// Writer is a minimal streaming VCD writer. Declare signals, call
+// Begin, then emit monotonically-timed value changes.
+type Writer struct {
+	w       *bufio.Writer
+	nextID  int
+	signals []signal
+	began   bool
+	lastT   int64
+	curT    int64
+	hasT    bool
+	err     error
+}
+
+type signal struct {
+	id     string
+	name   string
+	module string
+	last   int64
+	hasVal bool
+}
+
+// SignalID refers to a declared signal.
+type SignalID int
+
+// NewWriter starts a VCD document on w with a 1ns-per-cycle timescale.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// vcdID converts an index to a short VCD identifier.
+func vcdID(n int) string {
+	const chars = 94 // printable ASCII 33..126
+	id := ""
+	for {
+		id += string(rune(33 + n%chars))
+		n /= chars
+		if n == 0 {
+			return id
+		}
+		n--
+	}
+}
+
+// DeclareWire registers a 1-bit-or-wider wire under a module scope.
+// All declarations must precede Begin.
+func (v *Writer) DeclareWire(module, name string) SignalID {
+	if v.began {
+		v.fail(errors.New("vcd: declaration after Begin"))
+		return -1
+	}
+	id := SignalID(len(v.signals))
+	v.signals = append(v.signals, signal{id: vcdID(v.nextID), name: name, module: module})
+	v.nextID++
+	return id
+}
+
+// Begin emits the header and variable definitions.
+func (v *Writer) Begin() error {
+	if v.err != nil {
+		return v.err
+	}
+	if v.began {
+		return errors.New("vcd: Begin called twice")
+	}
+	v.began = true
+	fmt.Fprintf(v.w, "$date reproduction run $end\n$version stbusgen $end\n$timescale 1ns $end\n")
+	// Group by module.
+	byModule := map[string][]int{}
+	var order []string
+	for i, s := range v.signals {
+		if _, ok := byModule[s.module]; !ok {
+			order = append(order, s.module)
+		}
+		byModule[s.module] = append(byModule[s.module], i)
+	}
+	for _, mod := range order {
+		fmt.Fprintf(v.w, "$scope module %s $end\n", mod)
+		for _, i := range byModule[mod] {
+			fmt.Fprintf(v.w, "$var wire 8 %s %s $end\n", v.signals[i].id, v.signals[i].name)
+		}
+		fmt.Fprintf(v.w, "$upscope $end\n")
+	}
+	fmt.Fprintf(v.w, "$enddefinitions $end\n$dumpvars\n")
+	for i := range v.signals {
+		v.signals[i].last = 0
+		v.signals[i].hasVal = true
+		fmt.Fprintf(v.w, "b0 %s\n", v.signals[i].id)
+	}
+	fmt.Fprintf(v.w, "$end\n")
+	return nil
+}
+
+func (v *Writer) fail(err error) {
+	if v.err == nil {
+		v.err = err
+	}
+}
+
+// Set records signal sig holding value from time t onward. Times must
+// be non-decreasing across all calls.
+func (v *Writer) Set(t int64, sig SignalID, value int64) {
+	if v.err != nil {
+		return
+	}
+	if !v.began {
+		v.fail(errors.New("vcd: Set before Begin"))
+		return
+	}
+	if sig < 0 || int(sig) >= len(v.signals) {
+		v.fail(fmt.Errorf("vcd: unknown signal %d", sig))
+		return
+	}
+	if v.hasT && t < v.curT {
+		v.fail(fmt.Errorf("vcd: time went backwards: %d after %d", t, v.curT))
+		return
+	}
+	s := &v.signals[sig]
+	if s.hasVal && s.last == value {
+		return // no change
+	}
+	if !v.hasT || t != v.curT {
+		fmt.Fprintf(v.w, "#%d\n", t)
+		v.curT = t
+		v.hasT = true
+	}
+	fmt.Fprintf(v.w, "b%b %s\n", value, s.id)
+	s.last = value
+	s.hasVal = true
+}
+
+// Close flushes the document, stamping a final time marker.
+func (v *Writer) Close(endTime int64) error {
+	if v.err != nil {
+		return v.err
+	}
+	if !v.began {
+		return errors.New("vcd: Close before Begin")
+	}
+	if !v.hasT || endTime > v.curT {
+		fmt.Fprintf(v.w, "#%d\n", endTime)
+	}
+	return v.w.Flush()
+}
+
+// FromTraces reconstructs the per-bus busy waveforms of one STbus
+// instantiation from its two functional traces and writes them as a
+// VCD document: one module per direction, one wire per bus carrying
+// the number of in-flight data beats (0 or 1 per the bus serialization
+// invariant), and one wire per receiver.
+func FromTraces(w io.Writer, reqCfg *stbus.Config, req *trace.Trace, respCfg *stbus.Config, resp *trace.Trace) error {
+	if err := reqCfg.Validate(); err != nil {
+		return fmt.Errorf("vcd: request config: %w", err)
+	}
+	if err := respCfg.Validate(); err != nil {
+		return fmt.Errorf("vcd: response config: %w", err)
+	}
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("vcd: request trace: %w", err)
+	}
+	if err := resp.Validate(); err != nil {
+		return fmt.Errorf("vcd: response trace: %w", err)
+	}
+	v := NewWriter(w)
+
+	busSignals := func(module string, cfg *stbus.Config) []SignalID {
+		ids := make([]SignalID, cfg.NumBuses)
+		for b := range ids {
+			ids[b] = v.DeclareWire(module, fmt.Sprintf("bus%d_busy", b))
+		}
+		return ids
+	}
+	recvSignals := func(module string, n int) []SignalID {
+		ids := make([]SignalID, n)
+		for r := range ids {
+			ids[r] = v.DeclareWire(module, fmt.Sprintf("recv%d_active", r))
+		}
+		return ids
+	}
+	reqBus := busSignals("request", reqCfg)
+	reqRecv := recvSignals("request", req.NumReceivers)
+	respBus := busSignals("response", respCfg)
+	respRecv := recvSignals("response", resp.NumReceivers)
+	if err := v.Begin(); err != nil {
+		return err
+	}
+
+	// Merge both directions' edge events into one timeline.
+	type edge struct {
+		t     int64
+		sig   SignalID
+		delta int64
+	}
+	var edges []edge
+	add := func(tr *trace.Trace, cfg *stbus.Config, bus, recv []SignalID) {
+		for _, e := range tr.Events {
+			edges = append(edges,
+				edge{e.Start, bus[cfg.BusOf[e.Receiver]], 1},
+				edge{e.End(), bus[cfg.BusOf[e.Receiver]], -1},
+				edge{e.Start, recv[e.Receiver], 1},
+				edge{e.End(), recv[e.Receiver], -1},
+			)
+		}
+	}
+	add(req, reqCfg, reqBus, reqRecv)
+	add(resp, respCfg, respBus, respRecv)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta < edges[j].delta // falls before rises at equal time
+	})
+
+	// Apply all deltas of one timestamp before emitting, so
+	// back-to-back transfers do not produce spurious 1→0→1 glitches,
+	// and emit in signal order for deterministic output.
+	level := make(map[SignalID]int64)
+	for i := 0; i < len(edges); {
+		t := edges[i].t
+		var changed []SignalID
+		seen := map[SignalID]bool{}
+		for ; i < len(edges) && edges[i].t == t; i++ {
+			level[edges[i].sig] += edges[i].delta
+			if !seen[edges[i].sig] {
+				seen[edges[i].sig] = true
+				changed = append(changed, edges[i].sig)
+			}
+		}
+		sort.Slice(changed, func(a, b int) bool { return changed[a] < changed[b] })
+		for _, sig := range changed {
+			v.Set(t, sig, level[sig])
+		}
+	}
+	horizon := req.Horizon
+	if resp.Horizon > horizon {
+		horizon = resp.Horizon
+	}
+	return v.Close(horizon)
+}

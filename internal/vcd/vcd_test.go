@@ -1,0 +1,186 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/stbus"
+	"repro/internal/trace"
+)
+
+func TestWriterBasics(t *testing.T) {
+	var buf bytes.Buffer
+	v := NewWriter(&buf)
+	a := v.DeclareWire("top", "sigA")
+	b := v.DeclareWire("top", "sigB")
+	if err := v.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	v.Set(5, a, 1)
+	v.Set(5, b, 1)
+	v.Set(9, a, 0)
+	v.Set(9, a, 0) // duplicate: no change emitted
+	if err := v.Close(20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module top $end",
+		"$enddefinitions $end",
+		"#5", "#9", "#20",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Signal A toggles twice after dumpvars: one rise, one fall.
+	idA := "!"
+	if got := strings.Count(out, "b1 "+idA+"\n"); got != 1 {
+		t.Errorf("sigA rises = %d, want 1:\n%s", got, out)
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	var buf bytes.Buffer
+	v := NewWriter(&buf)
+	sig := v.DeclareWire("m", "s")
+	v.Set(1, sig, 1) // before Begin
+	if err := v.Begin(); err == nil {
+		t.Error("Begin after failed Set should carry the error")
+	}
+
+	v2 := NewWriter(&buf)
+	s2 := v2.DeclareWire("m", "s")
+	if err := v2.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	v2.Set(10, s2, 1)
+	v2.Set(5, s2, 0) // time goes backwards
+	if err := v2.Close(20); err == nil {
+		t.Error("backwards time not reported")
+	}
+
+	v3 := NewWriter(&buf)
+	if err := v3.Close(1); err == nil {
+		t.Error("Close before Begin accepted")
+	}
+}
+
+func TestVCDIDUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for n := 0; n < 500; n++ {
+		id := vcdID(n)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, n)
+		}
+		seen[id] = true
+		for _, r := range id {
+			if r < 33 || r > 126 {
+				t.Fatalf("id %q contains non-printable rune", id)
+			}
+		}
+	}
+}
+
+func TestFromTraces(t *testing.T) {
+	reqCfg := stbus.Partial(2, []int{0, 0})
+	respCfg := stbus.Full(2, 2)
+	req := &trace.Trace{
+		NumReceivers: 2, NumSenders: 2, Horizon: 100,
+		Events: []trace.Event{
+			{Start: 0, Len: 10, Sender: 0, Receiver: 0},
+			{Start: 10, Len: 5, Sender: 1, Receiver: 1}, // back-to-back on the shared bus
+		},
+	}
+	resp := &trace.Trace{
+		NumReceivers: 2, NumSenders: 2, Horizon: 100,
+		Events: []trace.Event{
+			{Start: 20, Len: 4, Sender: 0, Receiver: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := FromTraces(&buf, reqCfg, req, respCfg, resp); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "$scope module request $end") ||
+		!strings.Contains(out, "$scope module response $end") {
+		t.Errorf("missing direction scopes:\n%s", out)
+	}
+	if !strings.Contains(out, "bus0_busy") || !strings.Contains(out, "recv1_active") {
+		t.Errorf("missing signals:\n%s", out)
+	}
+	// The shared request bus is busy [0,15) with a back-to-back
+	// handover at 10 — no glitch: at #10 bus0_busy must not revisit 0.
+	lines := strings.Split(out, "\n")
+	busID := ""
+	for _, l := range lines {
+		if strings.Contains(l, "bus0_busy") && strings.Contains(l, "$var") {
+			parts := strings.Fields(l)
+			busID = parts[3]
+		}
+	}
+	if busID == "" {
+		t.Fatal("bus0_busy id not found")
+	}
+	inBlock := false
+	for _, l := range lines {
+		if l == "#10" {
+			inBlock = true
+			continue
+		}
+		if inBlock && strings.HasPrefix(l, "#") {
+			break
+		}
+		if inBlock && l == "b0 "+busID {
+			t.Errorf("glitch: bus busy dropped to 0 at back-to-back handover:\n%s", out)
+		}
+	}
+	// Final timestamp is the horizon.
+	if !strings.Contains(out, "#100") {
+		t.Errorf("missing end-of-trace timestamp:\n%s", out)
+	}
+}
+
+func TestFromTracesRejectsInvalid(t *testing.T) {
+	good := &trace.Trace{NumReceivers: 1, NumSenders: 1, Horizon: 10}
+	bad := &trace.Trace{NumReceivers: 0, NumSenders: 1, Horizon: 10}
+	cfg := stbus.Full(1, 1)
+	var buf bytes.Buffer
+	if err := FromTraces(&buf, cfg, bad, cfg, good); err == nil {
+		t.Error("invalid request trace accepted")
+	}
+	if err := FromTraces(&buf, cfg, good, cfg, bad); err == nil {
+		t.Error("invalid response trace accepted")
+	}
+	badCfg := &stbus.Config{NumSenders: 1, NumReceivers: 1, NumBuses: 0}
+	if err := FromTraces(&buf, badCfg, good, cfg, good); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFromTracesDeterministic(t *testing.T) {
+	cfg := stbus.Shared(2, 3)
+	tr := &trace.Trace{
+		NumReceivers: 3, NumSenders: 2, Horizon: 50,
+		Events: []trace.Event{
+			{Start: 0, Len: 5, Receiver: 0},
+			{Start: 0, Len: 5, Receiver: 1, Sender: 1},
+			{Start: 5, Len: 5, Receiver: 2},
+		},
+	}
+	respCfg := stbus.Full(3, 2)
+	resp := &trace.Trace{NumReceivers: 2, NumSenders: 3, Horizon: 50}
+	var a, b bytes.Buffer
+	if err := FromTraces(&a, cfg, tr, respCfg, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := FromTraces(&b, cfg, tr, respCfg, resp); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("VCD output not deterministic")
+	}
+}

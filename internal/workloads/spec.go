@@ -1,0 +1,177 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Spec is a JSON-serializable description of a custom MPSoC workload,
+// so platforms beyond the built-in benchmarks can be driven through
+// the same design flow without writing Go. It mirrors the generator
+// profile: a 2N+3-core platform template with phase-structured
+// initiator programs.
+//
+// Example:
+//
+//	{
+//	  "name": "MyApp",
+//	  "arm_cores": 4,
+//	  "iterations": 20,
+//	  "reads": 16, "read_burst": 8,
+//	  "writes": 4, "write_burst": 4,
+//	  "burst_accesses": 5, "pause": 40,
+//	  "idle": 800,
+//	  "groups": 2, "group_offset": 400,
+//	  "shared_every": 3, "shared_burst": 8,
+//	  "jitter": 3, "stagger": 100,
+//	  "critical_cores": [0]
+//	}
+type Spec struct {
+	Name          string `json:"name"`
+	ARMCores      int    `json:"arm_cores"`
+	Iterations    int    `json:"iterations"`
+	Reads         int    `json:"reads"`
+	ReadBurst     int64  `json:"read_burst"`
+	Writes        int    `json:"writes"`
+	WriteBurst    int64  `json:"write_burst"`
+	Gap           int64  `json:"gap,omitempty"`
+	BurstAccesses int    `json:"burst_accesses,omitempty"`
+	Pause         int64  `json:"pause,omitempty"`
+	Idle          int64  `json:"idle"`
+	Groups        int    `json:"groups,omitempty"`
+	GroupOffset   int64  `json:"group_offset,omitempty"`
+	SharedEvery   int    `json:"shared_every,omitempty"`
+	SharedBurst   int64  `json:"shared_burst,omitempty"`
+	Jitter        int64  `json:"jitter,omitempty"`
+	Stagger       int64  `json:"stagger,omitempty"`
+	CriticalCores []int  `json:"critical_cores,omitempty"`
+	Description   string `json:"description,omitempty"`
+}
+
+// Validate checks the spec's structural constraints.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workloads: spec needs a name")
+	}
+	if s.ARMCores < 1 || s.ARMCores > 29 {
+		return fmt.Errorf("workloads: arm_cores %d outside [1,29] (STbus crossbars max out at 32 targets)", s.ARMCores)
+	}
+	if s.Iterations < 1 {
+		return fmt.Errorf("workloads: iterations must be positive")
+	}
+	if s.Reads < 0 || s.Writes < 0 || s.Reads+s.Writes == 0 {
+		return fmt.Errorf("workloads: need at least one access per phase")
+	}
+	if s.Reads > 0 && s.ReadBurst < 1 {
+		return fmt.Errorf("workloads: read_burst must be positive")
+	}
+	if s.Writes > 0 && s.WriteBurst < 1 {
+		return fmt.Errorf("workloads: write_burst must be positive")
+	}
+	if s.Gap < 0 || s.Pause < 0 || s.Idle < 0 || s.Jitter < 0 || s.Stagger < 0 || s.GroupOffset < 0 {
+		return fmt.Errorf("workloads: timing parameters must be non-negative")
+	}
+	if s.BurstAccesses < 0 || s.Groups < 0 {
+		return fmt.Errorf("workloads: counts must be non-negative")
+	}
+	if s.SharedEvery < 0 || (s.SharedEvery > 0 && s.SharedBurst < 1) {
+		return fmt.Errorf("workloads: shared_every needs a positive shared_burst")
+	}
+	for _, c := range s.CriticalCores {
+		if c < 0 || c >= s.ARMCores {
+			return fmt.Errorf("workloads: critical core %d outside [0,%d)", c, s.ARMCores)
+		}
+	}
+	return nil
+}
+
+// Build generates the application from the spec, deterministically in
+// the seed.
+func (s *Spec) Build(seed int64) (*App, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	crit := criticalSpec{}
+	for _, c := range s.CriticalCores {
+		crit[c] = true
+	}
+	p := profile{
+		name:          s.Name,
+		numARM:        s.ARMCores,
+		iters:         s.Iterations,
+		reads:         s.Reads,
+		readBurst:     s.ReadBurst,
+		writes:        s.Writes,
+		writeBurst:    s.WriteBurst,
+		gap:           s.Gap,
+		burstAccesses: s.BurstAccesses,
+		pause:         s.Pause,
+		idle:          s.Idle,
+		groups:        s.Groups,
+		groupOffset:   s.GroupOffset,
+		sharedEvery:   s.SharedEvery,
+		sharedBurst:   s.SharedBurst,
+		jitter:        s.Jitter,
+		stagger:       s.Stagger,
+		description:   s.Description,
+	}
+	if p.description == "" {
+		p.description = fmt.Sprintf("custom workload %q (%d cores)", s.Name, 2*s.ARMCores+3)
+	}
+	return build(p, seed, crit), nil
+}
+
+// ReadSpec parses a JSON workload spec.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workloads: decoding spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// WriteSpec serializes a spec as indented JSON.
+func WriteSpec(w io.Writer, s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SpecOf reconstructs an equivalent Spec for a built-in benchmark, as
+// a starting point for customization (the exported counterpart of the
+// internal profiles).
+func SpecOf(name string) (*Spec, error) {
+	p, ok := builtinProfiles()[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+	return &Spec{
+		Name:          p.name,
+		ARMCores:      p.numARM,
+		Iterations:    p.iters,
+		Reads:         p.reads,
+		ReadBurst:     p.readBurst,
+		Writes:        p.writes,
+		WriteBurst:    p.writeBurst,
+		Gap:           p.gap,
+		BurstAccesses: p.burstAccesses,
+		Pause:         p.pause,
+		Idle:          p.idle,
+		Groups:        p.groups,
+		GroupOffset:   p.groupOffset,
+		SharedEvery:   p.sharedEvery,
+		SharedBurst:   p.sharedBurst,
+		Jitter:        p.jitter,
+		Stagger:       p.stagger,
+		Description:   p.description,
+	}, nil
+}

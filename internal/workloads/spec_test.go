@@ -1,0 +1,183 @@
+package workloads
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Name:       "Custom",
+		ARMCores:   4,
+		Iterations: 10,
+		Reads:      8, ReadBurst: 4,
+		Writes: 2, WriteBurst: 4,
+		Gap:  5,
+		Idle: 400,
+	}
+}
+
+func TestSpecBuild(t *testing.T) {
+	app, err := validSpec().Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.NumCores() != 2*4+3 {
+		t.Errorf("NumCores = %d, want 11", app.NumCores())
+	}
+	req, resp := app.FullConfig()
+	cfg := app.SimConfig(req, resp)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("built app's config invalid: %v", err)
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 4 {
+		t.Errorf("completed = %d, want 4", res.Completed)
+	}
+}
+
+func TestSpecValidationErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"no name", func(s *Spec) { s.Name = "" }},
+		{"zero cores", func(s *Spec) { s.ARMCores = 0 }},
+		{"too many cores", func(s *Spec) { s.ARMCores = 30 }},
+		{"zero iterations", func(s *Spec) { s.Iterations = 0 }},
+		{"no accesses", func(s *Spec) { s.Reads = 0; s.Writes = 0 }},
+		{"zero read burst", func(s *Spec) { s.ReadBurst = 0 }},
+		{"zero write burst", func(s *Spec) { s.WriteBurst = 0 }},
+		{"negative idle", func(s *Spec) { s.Idle = -1 }},
+		{"shared without burst", func(s *Spec) { s.SharedEvery = 2; s.SharedBurst = 0 }},
+		{"critical out of range", func(s *Spec) { s.CriticalCores = []int{9} }},
+		{"negative critical", func(s *Spec) { s.CriticalCores = []int{-1} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := validSpec()
+			c.mutate(s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid spec accepted")
+			}
+			if _, err := s.Build(1); err == nil {
+				t.Error("Build accepted invalid spec")
+			}
+		})
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := validSpec()
+	s.CriticalCores = []int{0, 2}
+	s.Groups = 2
+	s.GroupOffset = 300
+	var buf bytes.Buffer
+	if err := WriteSpec(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.Groups != 2 || len(back.CriticalCores) != 2 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+	// Same seed ⇒ identical applications.
+	a, err := s.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := back.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Programs[0]) != len(b.Programs[0]) {
+		t.Error("round-tripped spec builds different programs")
+	}
+}
+
+func TestReadSpecRejectsUnknownFields(t *testing.T) {
+	_, err := ReadSpec(strings.NewReader(`{"name":"x","arm_cores":2,"iterations":1,"reads":1,"read_burst":4,"idle":10,"bogus":true}`))
+	if err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestReadSpecGarbage(t *testing.T) {
+	if _, err := ReadSpec(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSpecCriticalMarksOps(t *testing.T) {
+	s := validSpec()
+	s.CriticalCores = []int{1}
+	app, err := s.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, op := range app.Programs[1] {
+		if op.Critical {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("critical core has no critical ops")
+	}
+}
+
+func TestSpecOfBuiltins(t *testing.T) {
+	for _, name := range []string{"Mat1", "Mat2", "FFT", "QSort", "DES"} {
+		spec, err := SpecOf(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: builtin spec invalid: %v", name, err)
+		}
+		// Building the spec reproduces the builtin app exactly.
+		fromSpec, err := spec.Build(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var builtin *App
+		switch name {
+		case "Mat1":
+			builtin = Mat1(1)
+		case "Mat2":
+			builtin = Mat2(1)
+		case "FFT":
+			builtin = FFT(1)
+		case "QSort":
+			builtin = QSort(1)
+		case "DES":
+			builtin = DES(1)
+		}
+		if fromSpec.NumCores() != builtin.NumCores() || fromSpec.Horizon != builtin.Horizon {
+			t.Errorf("%s: spec build differs from builtin", name)
+		}
+		for i := range builtin.Programs {
+			if len(fromSpec.Programs[i]) != len(builtin.Programs[i]) {
+				t.Errorf("%s: core %d program length differs", name, i)
+				break
+			}
+			for pc := range builtin.Programs[i] {
+				if fromSpec.Programs[i][pc] != builtin.Programs[i][pc] {
+					t.Errorf("%s: core %d op %d differs", name, i, pc)
+					break
+				}
+			}
+		}
+	}
+	if _, err := SpecOf("Nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

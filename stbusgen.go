@@ -1,0 +1,160 @@
+// Package stbusgen is an application-specific STbus crossbar generator:
+// a reproduction of "An Application-Specific Design Methodology for
+// STbus Crossbar Generation" (Murali & De Micheli, DATE 2005).
+//
+// The package is the public face of the repository. It wires the
+// four-phase methodology end to end:
+//
+//  1. simulate the application on a full crossbar and collect its
+//     functional traffic trace (internal/sim, internal/stbus);
+//  2. analyze the trace in fixed-size windows — per-target load,
+//     pairwise stream overlap, critical streams (internal/trace);
+//  3. design the minimal crossbar configuration and the optimal
+//     binding of cores onto buses (internal/core);
+//  4. validate the designed crossbar by cycle-accurate simulation.
+//
+// # Quick start
+//
+//	app := stbusgen.Mat2(1)
+//	result, err := stbusgen.DesignForApp(app, stbusgen.DefaultOptions())
+//	if err != nil { ... }
+//	fmt.Println(result.Pair.TotalBuses(), result.Validation.Latency.SummarizePacket())
+//
+// See examples/ for runnable programs and internal/experiments for the
+// harness that regenerates every table and figure of the paper.
+package stbusgen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stbus"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Aliases re-exporting the library's main types, so that facade users
+// work with one import.
+type (
+	// App is a benchmark application plus its platform layout.
+	App = workloads.App
+	// Options are the design-methodology parameters (window-derived
+	// conflict threshold, targets-per-bus cap, binding objective, ...).
+	Options = core.Options
+	// Design is a designed crossbar for one direction: bus count plus
+	// the receiver→bus binding.
+	Design = core.Design
+	// DesignPair is the two designed crossbars (initiator→target and
+	// target→initiator).
+	DesignPair = experiments.DesignPair
+	// Trace is a functional traffic trace of one direction.
+	Trace = trace.Trace
+	// Analysis is the window-based traffic analysis of a trace.
+	Analysis = trace.Analysis
+	// SimResult is a cycle-accurate simulation outcome (latency
+	// statistics, traces, utilization).
+	SimResult = sim.Result
+)
+
+// DefaultOptions returns the paper's main parameter set: 30% overlap
+// threshold, critical-stream separation, at most 4 targets per bus,
+// optimal (min-max-overlap) binding.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Workload constructors for the paper's benchmark suite.
+var (
+	// Mat1 is the 25-core matrix multiplication suite.
+	Mat1 = workloads.Mat1
+	// Mat2 is the 21-core matrix multiplication suite (the paper's
+	// running example).
+	Mat2 = workloads.Mat2
+	// FFT is the 29-core FFT suite.
+	FFT = workloads.FFT
+	// QSort is the 15-core quick sort suite.
+	QSort = workloads.QSort
+	// DES is the 19-core DES encryption system.
+	DES = workloads.DES
+	// Synthetic is the 20-core synthetic streaming benchmark with a
+	// parameterizable burst length.
+	Synthetic = workloads.Synthetic
+	// Benchmarks returns all five paper benchmarks.
+	Benchmarks = workloads.All
+)
+
+// Result bundles the artifacts of a full design run.
+type Result struct {
+	// App is the application that was designed for.
+	App *App
+	// FullRun is the phase-1 full-crossbar simulation.
+	FullRun *SimResult
+	// ReqAnalysis / RespAnalysis are the windowed traffic analyses.
+	ReqAnalysis, RespAnalysis *Analysis
+	// Pair holds the designed crossbars of both directions.
+	Pair *DesignPair
+	// Validation is the phase-4 simulation on the designed crossbars.
+	Validation *SimResult
+}
+
+// DesignForApp runs the complete methodology on an application: full
+// crossbar simulation, window analysis with the app's recommended
+// window size, crossbar design for both directions, and validation.
+func DesignForApp(app *App, opts Options) (*Result, error) {
+	run, err := experiments.Prepare(app)
+	if err != nil {
+		return nil, err
+	}
+	pair, err := run.Design(opts)
+	if err != nil {
+		return nil, err
+	}
+	validation, err := run.Validate(pair)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		App:          app,
+		FullRun:      run.Full,
+		ReqAnalysis:  run.AReq,
+		RespAnalysis: run.AResp,
+		Pair:         pair,
+		Validation:   validation,
+	}, nil
+}
+
+// CollectTrace runs the application on a full crossbar and returns the
+// functional traces of both directions (phase 1 only).
+func CollectTrace(app *App) (req, resp *Trace, err error) {
+	fullReq, fullResp := app.FullConfig()
+	res, err := sim.Run(app.SimConfig(fullReq, fullResp))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.ReqTrace, res.RespTrace, nil
+}
+
+// DesignFromTrace designs one direction's crossbar from an existing
+// trace with the given window size (phases 2–3 only); this is what
+// cmd/xbargen uses on trace files.
+func DesignFromTrace(tr *Trace, windowSize int64, opts Options) (*Design, error) {
+	a, err := trace.Analyze(tr, windowSize)
+	if err != nil {
+		return nil, err
+	}
+	return core.DesignCrossbar(a, opts)
+}
+
+// ValidateDesign simulates the application on an explicit pair of
+// designed crossbars and returns the cycle-accurate results.
+func ValidateDesign(app *App, pair *DesignPair) (*SimResult, error) {
+	if len(pair.Req.BusOf) != app.NumTargets {
+		return nil, fmt.Errorf("stbusgen: request binding covers %d targets, app has %d", len(pair.Req.BusOf), app.NumTargets)
+	}
+	if len(pair.Resp.BusOf) != app.NumInitiators {
+		return nil, fmt.Errorf("stbusgen: response binding covers %d initiators, app has %d", len(pair.Resp.BusOf), app.NumInitiators)
+	}
+	req := stbus.Partial(app.NumInitiators, pair.Req.BusOf)
+	resp := stbus.Partial(app.NumTargets, pair.Resp.BusOf)
+	return sim.Run(app.SimConfig(req, resp))
+}

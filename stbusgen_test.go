@@ -1,0 +1,109 @@
+package stbusgen_test
+
+import (
+	"testing"
+
+	stbusgen "repro"
+	"repro/internal/core"
+)
+
+func TestDesignForAppMat2(t *testing.T) {
+	app := stbusgen.Mat2(1)
+	res, err := stbusgen.DesignForApp(app, stbusgen.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pair.TotalBuses() != 6 {
+		t.Errorf("Mat2 designed buses = %d, want 6 (paper Table 2)", res.Pair.TotalBuses())
+	}
+	full := res.FullRun.Latency.SummarizePacket()
+	designed := res.Validation.Latency.SummarizePacket()
+	if designed.Avg < full.Avg {
+		t.Errorf("designed avg %.2f below full crossbar %.2f (impossible)", designed.Avg, full.Avg)
+	}
+	if designed.Avg > 2.5*full.Avg {
+		t.Errorf("designed avg %.2f more than 2.5x full crossbar %.2f", designed.Avg, full.Avg)
+	}
+	// The designed bindings must satisfy the constraints they were
+	// produced under.
+	if err := res.Pair.Req.Validate(res.ReqAnalysis, stbusgen.DefaultOptions()); err != nil {
+		t.Errorf("request design invalid: %v", err)
+	}
+	if err := res.Pair.Resp.Validate(res.RespAnalysis, stbusgen.DefaultOptions()); err != nil {
+		t.Errorf("response design invalid: %v", err)
+	}
+}
+
+func TestCollectTraceShapes(t *testing.T) {
+	app := stbusgen.QSort(1)
+	req, resp, err := stbusgen.CollectTrace(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.NumReceivers != app.NumTargets || req.NumSenders != app.NumInitiators {
+		t.Errorf("request trace is %d→%d, want %d→%d",
+			req.NumSenders, req.NumReceivers, app.NumInitiators, app.NumTargets)
+	}
+	if resp.NumReceivers != app.NumInitiators || resp.NumSenders != app.NumTargets {
+		t.Errorf("response trace is %d→%d, want %d→%d",
+			resp.NumSenders, resp.NumReceivers, app.NumTargets, app.NumInitiators)
+	}
+	if err := req.Validate(); err != nil {
+		t.Errorf("request trace invalid: %v", err)
+	}
+	if len(req.Events) == 0 || len(resp.Events) == 0 {
+		t.Error("traces are empty")
+	}
+}
+
+func TestDesignFromTrace(t *testing.T) {
+	app := stbusgen.Synthetic(1, 1000)
+	req, _, err := stbusgen.CollectTrace(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := stbusgen.DefaultOptions()
+	opts.MaxPerBus = 0
+	opts.OverlapThreshold = -1
+	small, err := stbusgen.DesignFromTrace(req, 200, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := stbusgen.DesignFromTrace(req, 4000, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumBuses <= large.NumBuses {
+		t.Errorf("window 200 gave %d buses, window 4000 gave %d; small windows must need more",
+			small.NumBuses, large.NumBuses)
+	}
+}
+
+func TestValidateDesignRejectsMismatch(t *testing.T) {
+	app := stbusgen.Mat2(1)
+	bad := &stbusgen.DesignPair{
+		Req:  &core.Design{NumBuses: 1, BusOf: []int{0}},
+		Resp: &core.Design{NumBuses: 1, BusOf: make([]int, app.NumInitiators)},
+	}
+	if _, err := stbusgen.ValidateDesign(app, bad); err == nil {
+		t.Error("mismatched binding accepted")
+	}
+}
+
+func TestValidateDesignRoundTrip(t *testing.T) {
+	app := stbusgen.DES(1)
+	res, err := stbusgen.DesignForApp(app, stbusgen.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := stbusgen.ValidateDesign(app, res.Pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic simulation: identical to the pipeline's validation.
+	a := res.Validation.Latency.SummarizePacket()
+	b := again.Latency.SummarizePacket()
+	if a != b {
+		t.Errorf("validation not deterministic: %+v vs %+v", a, b)
+	}
+}
