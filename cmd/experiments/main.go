@@ -16,6 +16,7 @@ import (
 	"log"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
@@ -26,8 +27,12 @@ func main() {
 	var (
 		runList = flag.String("run", "all", "comma-separated: table1, table2, fig4, fig5a, fig5b, fig6, binding, realtime, cost, adaptive, robustness, multiuse, or all")
 		seed    = flag.Int64("seed", experiments.Seed, "workload seed")
+		timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
@@ -37,21 +42,21 @@ func main() {
 	want := func(name string) bool { return all || selected[name] }
 
 	if want("table1") {
-		rows, err := experiments.Table1(*seed)
+		rows, err := experiments.Table1Ctx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.Table1Report(rows))
 	}
 	if want("table2") {
-		rows, err := experiments.Table2(*seed)
+		rows, err := experiments.Table2Ctx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.Table2Report(rows))
 	}
 	if want("fig4") {
-		rows, err := experiments.Figure4(*seed)
+		rows, err := experiments.Figure4Ctx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,63 +65,63 @@ func main() {
 		fmt.Println(maxPanel)
 	}
 	if want("fig5a") {
-		points, err := experiments.Figure5a(*seed)
+		points, err := experiments.Figure5aCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.Figure5aReport(points))
 	}
 	if want("fig5b") {
-		points, err := experiments.Figure5b(*seed)
+		points, err := experiments.Figure5bCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.Figure5bReport(points))
 	}
 	if want("fig6") {
-		points, err := experiments.Figure6(*seed)
+		points, err := experiments.Figure6Ctx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.Figure6Report(points))
 	}
 	if want("binding") {
-		rows, err := experiments.Binding(*seed)
+		rows, err := experiments.BindingCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.BindingReport(rows))
 	}
 	if want("realtime") {
-		res, err := experiments.Realtime(*seed)
+		res, err := experiments.RealtimeCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.RealtimeReport(res))
 	}
 	if want("cost") {
-		rows, err := experiments.Cost(*seed)
+		rows, err := experiments.CostCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.CostReport(rows))
 	}
 	if want("adaptive") {
-		rows, err := experiments.Adaptive(*seed)
+		rows, err := experiments.AdaptiveCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.AdaptiveReport(rows))
 	}
 	if want("robustness") {
-		rows, err := experiments.Robustness(nil)
+		rows, err := experiments.RobustnessCtx(ctx, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(experiments.RobustnessReport(rows))
 	}
 	if want("multiuse") {
-		res, err := experiments.MultiUse(*seed)
+		res, err := experiments.MultiUseCtx(ctx, *seed)
 		if err != nil {
 			log.Fatal(err)
 		}

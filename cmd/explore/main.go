@@ -16,6 +16,7 @@ import (
 	"log"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/explore"
 	"repro/internal/workloads"
 )
@@ -28,8 +29,12 @@ func main() {
 		appName = flag.String("app", "mat2", "application: mat1, mat2, fft, qsort, des, synth")
 		seed    = flag.Int64("seed", 1, "workload seed")
 		burst   = flag.Int64("burst", 1000, "nominal burst length for -app synth")
+		timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	var app *workloads.App
 	switch strings.ToLower(*appName) {
@@ -49,7 +54,7 @@ func main() {
 		log.Fatalf("unknown -app %q", *appName)
 	}
 
-	points, err := explore.Sweep(app, explore.DefaultGrid(app.WindowSize))
+	points, err := explore.SweepCtx(ctx, app, explore.DefaultGrid(app.WindowSize))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/sim"
 	"repro/internal/stbus"
 	"repro/internal/trace"
@@ -35,8 +36,12 @@ func main() {
 		traceOut = flag.String("trace-out", "", "prefix for binary trace dumps (<prefix>.req.trc, <prefix>.resp.trc)")
 		asJSON   = flag.Bool("json-traces", false, "dump traces as JSON instead of binary")
 		vcdOut   = flag.String("vcd", "", "write a VCD waveform of the bus activity to this file")
+		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit); Ctrl-C also cancels")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	var app *workloads.App
 	if *specPath != "" {
@@ -66,7 +71,7 @@ func main() {
 		log.Fatalf("unknown -arch %q (want full or shared)", *arch)
 	}
 
-	res, err := sim.Run(app.SimConfig(req, resp))
+	res, err := sim.RunCtx(ctx, app.SimConfig(req, resp))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/trace"
 )
 
@@ -27,8 +28,13 @@ func main() {
 		tracePath = flag.String("trace", "", "trace file (binary or JSON)")
 		window    = flag.Int64("window", 0, "window size for peak-duty analysis (0 = mean burst × 2)")
 		jsonTrace = flag.Bool("json", false, "trace file is JSON")
+		timeout   = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
 	if *tracePath == "" {
 		log.Fatal("missing -trace")
 	}
@@ -62,6 +68,9 @@ func main() {
 			ws = 1
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		log.Fatal(err)
+	}
 	peak, err := tr.PeakWindowDuty(ws)
 	if err != nil {
 		log.Fatal(err)
@@ -86,6 +95,9 @@ func main() {
 		fmt.Printf("  >=%7d cycles: %d\n", bounds[i], counts[i])
 	}
 
+	if err := ctx.Err(); err != nil {
+		log.Fatal(err)
+	}
 	ov := tr.OverlapFractions()
 	fmt.Println("\nheaviest pairwise overlaps (fraction of the lighter stream):")
 	type pair struct {

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/stbus"
 	"repro/internal/trace"
@@ -35,8 +36,12 @@ func main() {
 		jsonTrace  = flag.Bool("json", false, "trace file is JSON")
 		netlist    = flag.String("netlist", "", "also write a JSON netlist of the designed direction (paired with a full crossbar for the other direction)")
 		structural = flag.Bool("structural", false, "print a structural-HDL rendering of the design")
+		timeout    = flag.Duration("timeout", 0, "abort the design after this duration (0 = no limit); Ctrl-C also cancels")
 	)
 	flag.Parse()
+
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	if *tracePath == "" {
 		log.Fatal("missing -trace")
@@ -60,7 +65,7 @@ func main() {
 	if ws <= 0 {
 		ws = tr.WindowSizeHint()
 	}
-	a, err := trace.Analyze(tr, ws)
+	a, err := trace.AnalyzeCtx(ctx, tr, ws)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +87,7 @@ func main() {
 		log.Fatalf("unknown -engine %q (want bb, milp or anneal)", *engine)
 	}
 
-	d, err := core.DesignCrossbar(a, opts)
+	d, err := core.DesignCrossbarCtx(ctx, a, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,120 @@
+package stbusgen
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stbus"
+	"repro/internal/trace"
+)
+
+// Sentinel errors of the design pipeline, re-exported so facade users
+// can classify failures with errors.Is without importing internal
+// packages.
+var (
+	// ErrInfeasible: no bus count in the search range admits a binding.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrCanceled: the design was abandoned because its context was
+	// canceled or timed out. The context cause is wrapped, so
+	// errors.Is(err, context.Canceled) (or DeadlineExceeded) also holds.
+	ErrCanceled = core.ErrCanceled
+	// ErrSearchLimit: the solver exhausted its node budget.
+	ErrSearchLimit = core.ErrSearchLimit
+)
+
+// Designer is the concurrent design engine: it runs the four-phase
+// methodology under a context, parallelizing the direction designs,
+// the feasibility search and the window analyses. Every produced
+// design is bit-identical to the sequential pipeline's — parallelism
+// only changes how fast the answer arrives, never which answer.
+type Designer struct {
+	// Opts are the methodology parameters, including Opts.Workers, the
+	// speculative parallelism of the feasibility search.
+	Opts Options
+	// Workers, when positive, overrides Opts.Workers for designs run
+	// through this engine (0 keeps Opts.Workers, whose own zero value
+	// means GOMAXPROCS).
+	Workers int
+}
+
+// NewDesigner returns a Designer with the given methodology options.
+func NewDesigner(opts Options) *Designer { return &Designer{Opts: opts} }
+
+// options resolves the effective option set of one run.
+func (d *Designer) options() Options {
+	opts := d.Opts
+	if d.Workers > 0 {
+		opts.Workers = d.Workers
+	}
+	return opts
+}
+
+// Design runs the complete methodology on an application under ctx:
+// full-crossbar simulation, window analysis of both directions,
+// crossbar design for both directions, and validation. Cancellation or
+// deadline expiry surfaces promptly as an error wrapping ErrCanceled
+// (design phases) or sim.ErrCanceled (simulation phases).
+func (d *Designer) Design(ctx context.Context, app *App) (*Result, error) {
+	run, err := experiments.PrepareCtx(ctx, app)
+	if err != nil {
+		return nil, err
+	}
+	pair, err := run.DesignCtx(ctx, d.options())
+	if err != nil {
+		return nil, err
+	}
+	validation, err := run.ValidateCtx(ctx, pair)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		App:          app,
+		FullRun:      run.Full,
+		ReqAnalysis:  run.AReq,
+		RespAnalysis: run.AResp,
+		Pair:         pair,
+		Validation:   validation,
+	}, nil
+}
+
+// DesignTrace designs one direction's crossbar from an existing trace
+// with the given window size (phases 2–3 only).
+func (d *Designer) DesignTrace(ctx context.Context, tr *Trace, windowSize int64) (*Design, error) {
+	a, err := trace.AnalyzeCtx(ctx, tr, windowSize)
+	if err != nil {
+		return nil, err
+	}
+	return core.DesignCrossbarCtx(ctx, a, d.options())
+}
+
+// DesignForAppCtx is DesignForApp under a context.
+func DesignForAppCtx(ctx context.Context, app *App, opts Options) (*Result, error) {
+	return (&Designer{Opts: opts}).Design(ctx, app)
+}
+
+// CollectTraceCtx is CollectTrace under a context.
+func CollectTraceCtx(ctx context.Context, app *App) (req, resp *Trace, err error) {
+	fullReq, fullResp := app.FullConfig()
+	res, err := sim.RunCtx(ctx, app.SimConfig(fullReq, fullResp))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.ReqTrace, res.RespTrace, nil
+}
+
+// DesignFromTraceCtx is DesignFromTrace under a context.
+func DesignFromTraceCtx(ctx context.Context, tr *Trace, windowSize int64, opts Options) (*Design, error) {
+	return (&Designer{Opts: opts}).DesignTrace(ctx, tr, windowSize)
+}
+
+// ValidateDesignCtx is ValidateDesign under a context.
+func ValidateDesignCtx(ctx context.Context, app *App, pair *DesignPair) (*SimResult, error) {
+	if err := checkPair(app, pair); err != nil {
+		return nil, err
+	}
+	req := stbus.Partial(app.NumInitiators, pair.Req.BusOf)
+	resp := stbus.Partial(app.NumTargets, pair.Resp.BusOf)
+	return sim.RunCtx(ctx, app.SimConfig(req, resp))
+}

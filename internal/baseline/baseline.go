@@ -131,5 +131,5 @@ func RandomBinding(a *trace.Analysis, opts core.Options, numBuses int, rng *rand
 			}, nil
 		}
 	}
-	return nil, fmt.Errorf("baseline: no feasible random binding found in %d tries", maxTries)
+	return nil, fmt.Errorf("baseline: no feasible random binding found in %d tries: %w", maxTries, core.ErrInfeasible)
 }

@@ -1,0 +1,29 @@
+// Package cli holds the scaffolding shared by the command-line tools:
+// a root context wired to Ctrl-C / SIGTERM and an optional -timeout
+// deadline, so every tool can be interrupted or bounded and still exit
+// through its normal error path.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// Context returns the root context of a tool run. It is canceled on
+// SIGINT or SIGTERM and, when timeout is positive, expires after that
+// duration. The returned stop function releases the signal handler and
+// any timer; call it (usually via defer) before exiting.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}

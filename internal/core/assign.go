@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/ds"
@@ -145,6 +146,7 @@ func (p *assignProblem) lowerBound() int {
 // searchState is the mutable backtracking state of one solve.
 type searchState struct {
 	p        *assignProblem
+	ctx      context.Context
 	nB       int
 	busOf    []int     // target -> bus (-1 unassigned)
 	load     [][]int64 // load[bus][reduced window]
@@ -157,19 +159,30 @@ type searchState struct {
 	best     int64 // incumbent objective (binding mode)
 	bestBus  []int
 	optimize bool
-	capped   bool // node budget exhausted
+	capped   bool  // node budget exhausted
+	stopErr  error // context cancellation observed mid-search
 }
+
+// cancelCheckMask throttles context polling in the hot search loop:
+// the context is consulted once every cancelCheckMask+1 nodes, cheap
+// enough to be invisible yet prompt against any realistic deadline.
+const cancelCheckMask = 1023
 
 // solve finds a feasible assignment into nB buses; with optimize set it
 // continues to the minimum-max-overlap binding (branch and bound seeded
-// by a greedy incumbent).
-func (p *assignProblem) solve(nB int, optimize bool) (*assignResult, error) {
+// by a greedy incumbent). The context is polled at node-expansion
+// boundaries; cancellation surfaces as a wrapped ErrCanceled.
+func (p *assignProblem) solve(ctx context.Context, nB int, optimize bool) (*assignResult, error) {
 	if nB <= 0 {
 		return &assignResult{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceledErr(ctx)
 	}
 	nW := len(p.ws)
 	st := &searchState{
 		p:        p,
+		ctx:      ctx,
 		nB:       nB,
 		busOf:    make([]int, p.nT),
 		load:     make([][]int64, nB),
@@ -206,6 +219,9 @@ func (p *assignProblem) solve(nB int, optimize bool) (*assignResult, error) {
 
 	found := st.dfs(0, 0)
 	res := &assignResult{nodes: st.nodes}
+	if st.stopErr != nil {
+		return nil, st.stopErr
+	}
 	if st.capped && !found && st.bestBus == nil {
 		return nil, ErrSearchLimit
 	}
@@ -238,6 +254,13 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 	if st.nodes > p.maxNodes {
 		st.capped = true
 		return false
+	}
+	if st.nodes&cancelCheckMask == 0 {
+		if err := st.ctx.Err(); err != nil {
+			st.stopErr = canceledErr(st.ctx)
+			st.capped = true // unwind through the capped fast path
+			return false
+		}
 	}
 	if idx == p.nT {
 		if st.optimize {

@@ -23,9 +23,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/trace"
 )
 
@@ -83,6 +85,14 @@ type Options struct {
 	Engine Engine
 	// MaxNodes bounds the search effort per solve (0 = default).
 	MaxNodes int64
+	// Workers bounds the speculative parallelism of the feasibility
+	// binary search: up to Workers candidate bus counts are probed
+	// concurrently, with obsoleted probes canceled as soon as a sibling
+	// result narrows the range past them. 0 means GOMAXPROCS; 1 is the
+	// serial binary search. The designed crossbar is identical for
+	// every Workers value (the search only narrows on proven
+	// feasibility facts, and each per-count solve is deterministic).
+	Workers int
 }
 
 // DefaultOptions returns the parameter set used for the paper's main
@@ -122,8 +132,39 @@ type Design struct {
 // before establishing feasibility.
 var ErrSearchLimit = errors.New("core: search node limit exceeded")
 
+// ErrInfeasible is returned when no bus count within the search range
+// admits a binding satisfying the bandwidth, conflict and cap
+// constraints. Callers distinguish it from solver-budget or
+// cancellation failures with errors.Is.
+var ErrInfeasible = errors.New("core: no feasible crossbar configuration")
+
+// ErrCanceled is returned when the design is abandoned because the
+// context was canceled or its deadline expired. The context's cause is
+// wrapped, so errors.Is(err, context.Canceled) (or DeadlineExceeded)
+// also holds.
+var ErrCanceled = errors.New("core: design canceled")
+
+// canceledErr wraps the context's cancellation cause under ErrCanceled.
+func canceledErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}
+
+// errObsolete is the cancellation cause used to stop a speculative
+// feasibility probe once a sibling's result proved it redundant. It
+// never escapes this package.
+var errObsolete = errors.New("core: probe obsoleted by sibling result")
+
 // DesignCrossbar runs the full methodology on one direction's analysis.
 func DesignCrossbar(a *trace.Analysis, opts Options) (*Design, error) {
+	return DesignCrossbarCtx(context.Background(), a, opts)
+}
+
+// DesignCrossbarCtx is DesignCrossbar with cooperative cancellation and
+// speculative parallel feasibility probing (see Options.Workers). The
+// context is polled at solver node-expansion boundaries, so a
+// cancellation or deadline surfaces promptly as a wrapped ErrCanceled
+// even from deep inside a branch-and-bound search.
+func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*Design, error) {
 	if a == nil || a.NumReceivers == 0 {
 		return nil, errors.New("core: empty analysis")
 	}
@@ -160,51 +201,39 @@ func DesignCrossbar(a *trace.Analysis, opts Options) (*Design, error) {
 		lb = ub
 	}
 
-	solve := func(k int, optimize bool) (*assignResult, error) {
+	solve := func(ctx context.Context, k int, optimize bool) (*assignResult, error) {
 		switch {
 		case opts.Engine == EngineMILP:
-			return solveMILP(a, conflicts, k, maxPerBus, optimize)
+			return solveMILP(ctx, a, conflicts, k, maxPerBus, optimize)
 		case opts.Engine == EngineAnneal && optimize:
-			res, err := prob.solve(k, false)
+			res, err := prob.solve(ctx, k, false)
 			if err != nil || !res.feasible {
 				return res, err
 			}
 			busOf, obj := AnnealBinding(a, conflicts, k, maxPerBus, res.busOf, AnnealParams{Seed: 1})
 			return &assignResult{feasible: true, busOf: busOf, maxOverlap: obj, nodes: res.nodes}, nil
 		default:
-			return prob.solve(k, optimize)
+			return prob.solve(ctx, k, optimize)
 		}
 	}
 
-	// Phase 1: binary search the minimum feasible bus count. Feasibility
-	// is monotone in the bus count (extra buses can stay unused), so
-	// binary search is exact (paper Section 6).
-	var firstFeasible *assignResult
-	var nodes int64
-	best := -1
-	for lo, hi := lb, ub; lo <= hi; {
-		mid := (lo + hi) / 2
-		res, err := solve(mid, false)
-		if err != nil {
-			return nil, err
-		}
-		nodes += res.nodes
-		if res.feasible {
-			best = mid
-			firstFeasible = res
-			hi = mid - 1
-		} else {
-			lo = mid + 1
-		}
+	// Phase 1: find the minimum feasible bus count. Feasibility is
+	// monotone in the bus count (extra buses can stay unused), so an
+	// interval-narrowing search is exact (paper Section 6); with
+	// Workers > 1 several candidate counts are probed speculatively in
+	// parallel, canceling probes a sibling result makes redundant.
+	best, firstFeasible, nodes, err := searchMinFeasible(ctx, lb, ub, conc.Workers(opts.Workers), solve)
+	if err != nil {
+		return nil, err
 	}
 	if best == -1 {
-		return nil, fmt.Errorf("core: no feasible crossbar with at most %d buses (conflicts or bus cap too tight)", ub)
+		return nil, fmt.Errorf("core: no feasible crossbar with at most %d buses (conflicts or bus cap too tight): %w", ub, ErrInfeasible)
 	}
 
 	result := firstFeasible
 	// Phase 2: optimal binding on the chosen configuration.
 	if opts.OptimizeBinding {
-		res, err := solve(best, true)
+		res, err := solve(ctx, best, true)
 		if err != nil {
 			return nil, err
 		}

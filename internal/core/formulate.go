@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/lp"
@@ -198,11 +200,17 @@ func (f *Formulation) Extract(x []float64) ([]int, error) {
 	return busOf, nil
 }
 
-// solveMILP runs the paper-literal formulation for one bus count.
-func solveMILP(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) (*assignResult, error) {
+// solveMILP runs the paper-literal formulation for one bus count. A
+// cancellation of the underlying MILP search is re-labeled with the
+// design-path sentinel so errors.Is(err, ErrCanceled) holds for every
+// engine.
+func solveMILP(ctx context.Context, a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) (*assignResult, error) {
 	f := Formulate(a, conflicts, numBuses, maxPerBus, optimize)
-	sol, err := milp.Solve(f.Problem, milp.Options{FirstFeasible: !optimize})
+	sol, err := milp.SolveCtx(ctx, f.Problem, milp.Options{FirstFeasible: !optimize})
 	if err != nil {
+		if errors.Is(err, milp.ErrCanceled) {
+			return nil, fmt.Errorf("core: MILP solve (%d buses): %w: %w", numBuses, ErrCanceled, err)
+		}
 		return nil, fmt.Errorf("core: MILP solve (%d buses): %w", numBuses, err)
 	}
 	res := &assignResult{nodes: int64(sol.Nodes)}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/trace"
@@ -53,7 +54,7 @@ func TestSolveMILPInfeasibleBusCount(t *testing.T) {
 		{Start: 0, Len: 60, Receiver: 1},
 	})
 	conflicts := BuildConflicts(a, Options{OverlapThreshold: -1})
-	res, err := solveMILP(a, conflicts, 1, 2, false)
+	res, err := solveMILP(context.Background(), a, conflicts, 1, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this test
+// binary. Wall-clock performance assertions scale their budgets by it:
+// the detector slows the branch-and-bound hot loop by an order of
+// magnitude, which says nothing about the solver itself.
+const raceEnabled = true

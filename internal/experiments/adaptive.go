@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -25,12 +28,19 @@ type AdaptiveRow struct {
 // synthetic benchmark (whose drifting bursts are the stress case for
 // fixed window alignment) and on Mat2.
 func Adaptive(seed int64) ([]AdaptiveRow, error) {
+	return AdaptiveCtx(context.Background(), seed)
+}
+
+// AdaptiveCtx is Adaptive with cancellation; the two applications run
+// concurrently, each writing its own row.
+func AdaptiveCtx(ctx context.Context, seed int64) ([]AdaptiveRow, error) {
 	apps := []*workloads.App{workloads.Synthetic(seed, 1000), workloads.Mat2(seed)}
-	var rows []AdaptiveRow
-	for _, app := range apps {
-		run, err := Prepare(app)
+	rows := make([]AdaptiveRow, len(apps))
+	err := conc.ForEach(ctx, len(apps), 0, func(ctx context.Context, i int) error {
+		app := apps[i]
+		run, err := PrepareCtx(ctx, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opts := core.DefaultOptions()
 		if app.Name == "Synth" {
@@ -40,40 +50,40 @@ func Adaptive(seed int64) ([]AdaptiveRow, error) {
 
 		// Fixed windows at the app's recommended size (the Figure 5
 		// operating point).
-		fixedPair, err := run.Design(opts)
+		fixedPair, err := run.DesignCtx(ctx, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fixedRes, err := run.Validate(fixedPair)
+		fixedRes, err := run.ValidateCtx(ctx, fixedPair)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// Adaptive windows between 1× and 4× the recommended size,
 		// aligned to burst onsets.
 		aReq, err := trace.AnalyzeAdaptive(run.Full.ReqTrace, app.WindowSize, 4*app.WindowSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		aResp, err := trace.AnalyzeAdaptive(run.Full.RespTrace, app.WindowSize, 4*app.WindowSize)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dReq, err := core.DesignCrossbar(aReq, opts)
+		dReq, err := core.DesignCrossbarCtx(ctx, aReq, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		dResp, err := core.DesignCrossbar(aResp, opts)
+		dResp, err := core.DesignCrossbarCtx(ctx, aResp, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		adaptPair := &DesignPair{Req: dReq, Resp: dResp}
-		adaptRes, err := run.Validate(adaptPair)
+		adaptRes, err := run.ValidateCtx(ctx, adaptPair)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		rows = append(rows, AdaptiveRow{
+		rows[i] = AdaptiveRow{
 			App:          app.Name,
 			FixedWindows: run.AReq.NumWindows(),
 			FixedBuses:   fixedPair.TotalBuses(),
@@ -82,7 +92,11 @@ func Adaptive(seed int64) ([]AdaptiveRow, error) {
 			AdaptBuses:   adaptPair.TotalBuses(),
 			AdaptAvgLat:  adaptRes.Latency.SummarizePacket().Avg,
 			FullAvgLat:   run.Full.Latency.SummarizePacket().Avg,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

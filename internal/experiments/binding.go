@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/baseline"
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/stats"
@@ -28,51 +30,65 @@ const bindingTrials = 5
 // overlap-minimizing binding against random bindings that satisfy the
 // same constraints (Eq. 3–9).
 func Binding(seed int64) ([]BindingRow, error) {
+	return BindingCtx(context.Background(), seed)
+}
+
+// BindingCtx is Binding with cancellation. Applications run
+// concurrently; each draws its random bindings from a fresh
+// deterministically-seeded generator, so the rows are independent of
+// scheduling and worker count.
+func BindingCtx(ctx context.Context, seed int64) ([]BindingRow, error) {
 	// Both bindings target the configuration the standard methodology
 	// chooses, under the same constraint set (Eq. 3-9 with the default
 	// conflict pre-processing) - only the binding objective differs,
 	// exactly the paper's comparison.
 	opts := core.DefaultOptions()
-	var rows []BindingRow
-	for _, app := range workloads.All(seed) {
-		run, err := Prepare(app)
+	apps := workloads.All(seed)
+	rows := make([]BindingRow, len(apps))
+	err := conc.ForEach(ctx, len(apps), 0, func(ctx context.Context, i int) error {
+		app := apps[i]
+		run, err := PrepareCtx(ctx, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pair, err := run.Design(opts)
+		pair, err := run.DesignCtx(ctx, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		optimal, err := run.Validate(pair)
+		optimal, err := run.ValidateCtx(ctx, pair)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		optAvg := optimal.Latency.SummarizePacket().Avg
 
-		rng := rand.New(rand.NewSource(seed * 7919))
+		rng := rand.New(rand.NewSource(seed*7919 + int64(i)))
 		var randomSum float64
 		for trial := 0; trial < bindingTrials; trial++ {
 			rReq, err := baseline.RandomBinding(run.AReq, opts, pair.Req.NumBuses, rng, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rResp, err := baseline.RandomBinding(run.AResp, opts, pair.Resp.NumBuses, rng, 0)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			res, err := run.ValidateBinding(rReq.BusOf, rResp.BusOf)
+			res, err := run.ValidateBindingCtx(ctx, rReq.BusOf, rResp.BusOf)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			randomSum += res.Latency.SummarizePacket().Avg
 		}
 		randAvg := randomSum / bindingTrials
-		rows = append(rows, BindingRow{
+		rows[i] = BindingRow{
 			App:        app.Name,
 			OptimalAvg: optAvg,
 			RandomAvg:  randAvg,
 			Ratio:      randAvg / optAvg,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -111,16 +127,21 @@ var RealtimeCores = []int{0, 4}
 // Realtime reproduces the Section 7.3 real-time-stream experiment on a
 // Mat2 variant with critical streams.
 func Realtime(seed int64) (*RealtimeResult, error) {
+	return RealtimeCtx(context.Background(), seed)
+}
+
+// RealtimeCtx is Realtime with cancellation.
+func RealtimeCtx(ctx context.Context, seed int64) (*RealtimeResult, error) {
 	app := workloads.Mat2Critical(seed, RealtimeCores...)
-	run, err := Prepare(app)
+	run, err := PrepareCtx(ctx, app)
 	if err != nil {
 		return nil, err
 	}
-	pair, err := run.Design(core.DefaultOptions())
+	pair, err := run.DesignCtx(ctx, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	designed, err := run.Validate(pair)
+	designed, err := run.ValidateCtx(ctx, pair)
 	if err != nil {
 		return nil, err
 	}

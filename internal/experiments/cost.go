@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/report"
@@ -26,21 +29,29 @@ type CostRow struct {
 
 // Cost runs the area/power comparison over the five benchmarks.
 func Cost(seed int64) ([]CostRow, error) {
+	return CostCtx(context.Background(), seed)
+}
+
+// CostCtx is Cost with cancellation; applications run concurrently,
+// each writing its own row.
+func CostCtx(ctx context.Context, seed int64) ([]CostRow, error) {
 	areaModel := cost.DefaultAreaModel()
 	powerModel := cost.DefaultPowerModel()
-	var rows []CostRow
-	for _, app := range workloads.All(seed) {
-		run, err := Prepare(app)
+	apps := workloads.All(seed)
+	rows := make([]CostRow, len(apps))
+	err := conc.ForEach(ctx, len(apps), 0, func(ctx context.Context, i int) error {
+		app := apps[i]
+		run, err := PrepareCtx(ctx, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pair, err := run.Design(core.DefaultOptions())
+		pair, err := run.DesignCtx(ctx, core.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		designed, err := run.Validate(pair)
+		designed, err := run.ValidateCtx(ctx, pair)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		fullReq, fullResp := app.FullConfig()
@@ -52,14 +63,14 @@ func Cost(seed int64) ([]CostRow, error) {
 
 		fullPower, err := pairPower(powerModel, areaModel, fullReq, fullResp, run.Full)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		desPower, err := pairPower(powerModel, areaModel, desReq, desResp, designed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
-		rows = append(rows, CostRow{
+		rows[i] = CostRow{
 			App:          app.Name,
 			FullArea:     fullArea.Total(),
 			DesignedArea: desArea.Total(),
@@ -68,7 +79,11 @@ func Cost(seed int64) ([]CostRow, error) {
 			DesignPower:  desPower,
 			PowerRatio:   fullPower / desPower,
 			LatencyCost:  designed.Latency.SummarizePacket().Avg / run.Full.Latency.SummarizePacket().Avg,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/trace"
@@ -36,25 +38,36 @@ var Fig5aWindowSizes = []int64{200, 300, 400, 750, 1000, 2000, 3000, 4000, 5000,
 // crossbar) through 1–4 bursts (≈ 25–40% of full) to the whole trace
 // (the conservative average-flow extreme).
 func Figure5a(seed int64) ([]Fig5aPoint, error) {
+	return Figure5aCtx(context.Background(), seed)
+}
+
+// Figure5aCtx is Figure5a with cancellation; the swept window sizes
+// are analyzed and designed concurrently, each writing its own point.
+func Figure5aCtx(ctx context.Context, seed int64) ([]Fig5aPoint, error) {
 	app := workloads.Synthetic(seed, 1000)
-	run, err := Prepare(app)
+	run, err := PrepareCtx(ctx, app)
 	if err != nil {
 		return nil, err
 	}
-	var points []Fig5aPoint
-	for _, ws := range Fig5aWindowSizes {
+	points := make([]Fig5aPoint, len(Fig5aWindowSizes))
+	err = conc.ForEach(ctx, len(Fig5aWindowSizes), 0, func(ctx context.Context, i int) error {
+		ws := Fig5aWindowSizes[i]
 		if ws > app.Horizon {
 			ws = app.Horizon
 		}
-		a, err := trace.Analyze(run.Full.ReqTrace, ws)
+		a, err := trace.AnalyzeCtx(ctx, run.Full.ReqTrace, ws)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		d, err := core.DesignCrossbar(a, sweepOptions())
+		d, err := core.DesignCrossbarCtx(ctx, a, sweepOptions())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 5a at ws=%d: %w", ws, err)
+			return fmt.Errorf("experiments: figure 5a at ws=%d: %w", ws, err)
 		}
-		points = append(points, Fig5aPoint{WindowSize: ws, Buses: d.NumBuses})
+		points[i] = Fig5aPoint{WindowSize: ws, Buses: d.NumBuses}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -92,29 +105,41 @@ const fig5bSizeTarget = 4
 // window whose designed crossbar reaches the acceptable size, showing
 // the near-linear window/burst relation.
 func Figure5b(seed int64) ([]Fig5bPoint, error) {
-	var points []Fig5bPoint
-	for _, burst := range Fig5bBurstSizes {
+	return Figure5bCtx(context.Background(), seed)
+}
+
+// Figure5bCtx is Figure5b with cancellation. The burst sizes run
+// concurrently; the escalating window search inside each burst stays
+// serial because every step depends on the previous one's outcome.
+func Figure5bCtx(ctx context.Context, seed int64) ([]Fig5bPoint, error) {
+	points := make([]Fig5bPoint, len(Fig5bBurstSizes))
+	err := conc.ForEach(ctx, len(Fig5bBurstSizes), 0, func(ctx context.Context, i int) error {
+		burst := Fig5bBurstSizes[i]
 		app := workloads.Synthetic(seed, burst)
-		run, err := Prepare(app)
+		run, err := PrepareCtx(ctx, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		found := int64(-1)
 		for ws := burst / 4; ws <= 16*burst; ws = ws * 5 / 4 {
-			a, err := trace.Analyze(run.Full.ReqTrace, ws)
+			a, err := trace.AnalyzeCtx(ctx, run.Full.ReqTrace, ws)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			d, err := core.DesignCrossbar(a, sweepOptions())
+			d, err := core.DesignCrossbarCtx(ctx, a, sweepOptions())
 			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 5b at burst=%d ws=%d: %w", burst, ws, err)
+				return fmt.Errorf("experiments: figure 5b at burst=%d ws=%d: %w", burst, ws, err)
 			}
 			if d.NumBuses <= fig5bSizeTarget {
 				found = ws
 				break
 			}
 		}
-		points = append(points, Fig5bPoint{BurstSize: burst, AcceptableWS: found})
+		points[i] = Fig5bPoint{BurstSize: burst, AcceptableWS: found}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -148,24 +173,35 @@ var Fig6Thresholds = []float64{0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50}
 // pre-processing parameter on the designed crossbar size, at a fixed
 // window of twice the nominal burst.
 func Figure6(seed int64) ([]Fig6Point, error) {
+	return Figure6Ctx(context.Background(), seed)
+}
+
+// Figure6Ctx is Figure6 with cancellation; the threshold settings are
+// designed concurrently against the shared analysis.
+func Figure6Ctx(ctx context.Context, seed int64) ([]Fig6Point, error) {
 	app := workloads.Synthetic(seed, 1000)
-	run, err := Prepare(app)
+	run, err := PrepareCtx(ctx, app)
 	if err != nil {
 		return nil, err
 	}
-	a, err := trace.Analyze(run.Full.ReqTrace, app.WindowSize)
+	a, err := trace.AnalyzeCtx(ctx, run.Full.ReqTrace, app.WindowSize)
 	if err != nil {
 		return nil, err
 	}
-	var points []Fig6Point
-	for _, thr := range Fig6Thresholds {
+	points := make([]Fig6Point, len(Fig6Thresholds))
+	err = conc.ForEach(ctx, len(Fig6Thresholds), 0, func(ctx context.Context, i int) error {
+		thr := Fig6Thresholds[i]
 		opts := sweepOptions()
 		opts.OverlapThreshold = thr
-		d, err := core.DesignCrossbar(a, opts)
+		d, err := core.DesignCrossbarCtx(ctx, a, opts)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 6 at threshold=%.2f: %w", thr, err)
+			return fmt.Errorf("experiments: figure 6 at threshold=%.2f: %w", thr, err)
 		}
-		points = append(points, Fig6Point{Threshold: thr, Buses: d.NumBuses, Conflicts: d.Conflicts})
+		points[i] = Fig6Point{Threshold: thr, Buses: d.NumBuses, Conflicts: d.Conflicts}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

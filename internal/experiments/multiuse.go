@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -54,25 +55,30 @@ func multiUseModes(seed int64) (*workloads.App, *workloads.App, error) {
 // MultiUse runs the study: designs for mode A only, mode B only, and
 // the merged analysis, each validated on both modes.
 func MultiUse(seed int64) (*MultiUseResult, error) {
+	return MultiUseCtx(context.Background(), seed)
+}
+
+// MultiUseCtx is MultiUse with cancellation.
+func MultiUseCtx(ctx context.Context, seed int64) (*MultiUseResult, error) {
 	modeA, modeB, err := multiUseModes(seed)
 	if err != nil {
 		return nil, err
 	}
-	runA, err := Prepare(modeA)
+	runA, err := PrepareCtx(ctx, modeA)
 	if err != nil {
 		return nil, err
 	}
-	runB, err := Prepare(modeB)
+	runB, err := PrepareCtx(ctx, modeB)
 	if err != nil {
 		return nil, err
 	}
 	opts := core.DefaultOptions()
 
-	pairA, err := runA.Design(opts)
+	pairA, err := runA.DesignCtx(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
-	pairB, err := runB.Design(opts)
+	pairB, err := runB.DesignCtx(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -85,18 +91,18 @@ func MultiUse(seed int64) (*MultiUseResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	dReq, err := core.DesignCrossbar(mergedReq, opts)
+	dReq, err := core.DesignCrossbarCtx(ctx, mergedReq, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: merged request design: %w", err)
 	}
-	dResp, err := core.DesignCrossbar(mergedResp, opts)
+	dResp, err := core.DesignCrossbarCtx(ctx, mergedResp, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: merged response design: %w", err)
 	}
 	merged := &DesignPair{Req: dReq, Resp: dResp}
 
 	avgOn := func(run *AppRun, pair *DesignPair) (float64, error) {
-		res, err := run.ValidateBinding(pair.Req.BusOf, pair.Resp.BusOf)
+		res, err := run.ValidateBindingCtx(ctx, pair.Req.BusOf, pair.Resp.BusOf)
 		if err != nil {
 			return 0, err
 		}

@@ -13,8 +13,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stbus"
@@ -39,18 +41,38 @@ type AppRun struct {
 // Prepare runs phase 1 (full-crossbar simulation and trace collection)
 // and phase 2's data reduction (window analysis) for an application.
 func Prepare(app *workloads.App) (*AppRun, error) {
+	return PrepareCtx(context.Background(), app)
+}
+
+// PrepareCtx is Prepare with cancellation. The two direction analyses
+// run concurrently; each is internally deterministic, so the result is
+// identical to the serial path.
+func PrepareCtx(ctx context.Context, app *workloads.App) (*AppRun, error) {
 	req, resp := app.FullConfig()
-	full, err := sim.Run(app.SimConfig(req, resp))
+	full, err := sim.RunCtx(ctx, app.SimConfig(req, resp))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: full-crossbar simulation of %s: %w", app.Name, err)
 	}
-	aReq, err := trace.Analyze(full.ReqTrace, app.WindowSize)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: analyzing %s request trace: %w", app.Name, err)
-	}
-	aResp, err := trace.Analyze(full.RespTrace, app.WindowSize)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: analyzing %s response trace: %w", app.Name, err)
+	var aReq, aResp *trace.Analysis
+	g, gctx := conc.WithContext(ctx)
+	g.Go(func() error {
+		var err error
+		aReq, err = trace.AnalyzeCtx(gctx, full.ReqTrace, app.WindowSize)
+		if err != nil {
+			return fmt.Errorf("experiments: analyzing %s request trace: %w", app.Name, err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		aResp, err = trace.AnalyzeCtx(gctx, full.RespTrace, app.WindowSize)
+		if err != nil {
+			return fmt.Errorf("experiments: analyzing %s response trace: %w", app.Name, err)
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return &AppRun{App: app, Full: full, AReq: aReq, AResp: aResp, WindowSize: app.WindowSize}, nil
 }
@@ -66,13 +88,33 @@ func (p *DesignPair) TotalBuses() int { return p.Req.NumBuses + p.Resp.NumBuses 
 
 // Design runs the methodology (phases 2–3) on both directions.
 func (r *AppRun) Design(opts core.Options) (*DesignPair, error) {
-	dReq, err := core.DesignCrossbar(r.AReq, opts)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: designing %s initiator→target crossbar: %w", r.App.Name, err)
-	}
-	dResp, err := core.DesignCrossbar(r.AResp, opts)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: designing %s target→initiator crossbar: %w", r.App.Name, err)
+	return r.DesignCtx(context.Background(), opts)
+}
+
+// DesignCtx is Design with cancellation. The two direction designs are
+// independent and run concurrently; each design is deterministic, so
+// the pair matches the serial path bit for bit.
+func (r *AppRun) DesignCtx(ctx context.Context, opts core.Options) (*DesignPair, error) {
+	var dReq, dResp *core.Design
+	g, gctx := conc.WithContext(ctx)
+	g.Go(func() error {
+		var err error
+		dReq, err = core.DesignCrossbarCtx(gctx, r.AReq, opts)
+		if err != nil {
+			return fmt.Errorf("experiments: designing %s initiator→target crossbar: %w", r.App.Name, err)
+		}
+		return nil
+	})
+	g.Go(func() error {
+		var err error
+		dResp, err = core.DesignCrossbarCtx(gctx, r.AResp, opts)
+		if err != nil {
+			return fmt.Errorf("experiments: designing %s target→initiator crossbar: %w", r.App.Name, err)
+		}
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		return nil, err
 	}
 	return &DesignPair{Req: dReq, Resp: dResp}, nil
 }
@@ -80,9 +122,14 @@ func (r *AppRun) Design(opts core.Options) (*DesignPair, error) {
 // Validate runs phase 4: cycle-accurate simulation of the application
 // on the designed partial crossbars.
 func (r *AppRun) Validate(pair *DesignPair) (*sim.Result, error) {
+	return r.ValidateCtx(context.Background(), pair)
+}
+
+// ValidateCtx is Validate with cancellation.
+func (r *AppRun) ValidateCtx(ctx context.Context, pair *DesignPair) (*sim.Result, error) {
 	req := stbus.Partial(r.App.NumInitiators, pair.Req.BusOf)
 	resp := stbus.Partial(r.App.NumTargets, pair.Resp.BusOf)
-	res, err := sim.Run(r.App.SimConfig(req, resp))
+	res, err := sim.RunCtx(ctx, r.App.SimConfig(req, resp))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: validating %s design: %w", r.App.Name, err)
 	}
@@ -92,15 +139,25 @@ func (r *AppRun) Validate(pair *DesignPair) (*sim.Result, error) {
 // ValidateBinding simulates an explicit binding pair (used by the
 // random-binding study).
 func (r *AppRun) ValidateBinding(reqBusOf, respBusOf []int) (*sim.Result, error) {
+	return r.ValidateBindingCtx(context.Background(), reqBusOf, respBusOf)
+}
+
+// ValidateBindingCtx is ValidateBinding with cancellation.
+func (r *AppRun) ValidateBindingCtx(ctx context.Context, reqBusOf, respBusOf []int) (*sim.Result, error) {
 	req := stbus.Partial(r.App.NumInitiators, reqBusOf)
 	resp := stbus.Partial(r.App.NumTargets, respBusOf)
-	return sim.Run(r.App.SimConfig(req, resp))
+	return sim.RunCtx(ctx, r.App.SimConfig(req, resp))
 }
 
 // RunShared simulates the application on the shared-bus configuration.
 func (r *AppRun) RunShared() (*sim.Result, error) {
+	return r.RunSharedCtx(context.Background())
+}
+
+// RunSharedCtx is RunShared with cancellation.
+func (r *AppRun) RunSharedCtx(ctx context.Context) (*sim.Result, error) {
 	req, resp := r.App.SharedConfig()
-	res, err := sim.Run(r.App.SimConfig(req, resp))
+	res, err := sim.RunCtx(ctx, r.App.SimConfig(req, resp))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: shared-bus simulation of %s: %w", r.App.Name, err)
 	}

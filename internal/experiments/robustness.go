@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/workloads"
@@ -25,32 +27,56 @@ var DefaultRobustnessSeeds = []int64{1, 2, 3, 4, 5}
 
 // Robustness designs every benchmark across the given seeds.
 func Robustness(seeds []int64) ([]RobustnessRow, error) {
+	return RobustnessCtx(context.Background(), seeds)
+}
+
+// RobustnessCtx is Robustness with cancellation. The (seed, app)
+// combinations are flattened and designed concurrently, each writing
+// its own slot; the aggregation into per-app rows stays serial so the
+// row and seed order match the sequential study.
+func RobustnessCtx(ctx context.Context, seeds []int64) ([]RobustnessRow, error) {
 	if len(seeds) == 0 {
 		seeds = DefaultRobustnessSeeds
 	}
-	// All five benchmarks per seed.
-	type key struct{ app string }
-	rowOf := map[string]*RobustnessRow{}
-	var order []string
+	// All five benchmarks per seed, flattened to one slot per combo.
+	type combo struct {
+		seed int64
+		app  *workloads.App
+	}
+	var combos []combo
 	for _, seed := range seeds {
 		for _, app := range workloads.All(seed) {
-			run, err := Prepare(app)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: robustness seed %d: %w", seed, err)
-			}
-			pair, err := run.Design(core.DefaultOptions())
-			if err != nil {
-				return nil, fmt.Errorf("experiments: robustness seed %d %s: %w", seed, app.Name, err)
-			}
-			row := rowOf[app.Name]
-			if row == nil {
-				row = &RobustnessRow{App: app.Name}
-				rowOf[app.Name] = row
-				order = append(order, app.Name)
-			}
-			row.Seeds = append(row.Seeds, seed)
-			row.Buses = append(row.Buses, pair.TotalBuses())
+			combos = append(combos, combo{seed: seed, app: app})
 		}
+	}
+	buses := make([]int, len(combos))
+	err := conc.ForEach(ctx, len(combos), 0, func(ctx context.Context, i int) error {
+		c := combos[i]
+		run, err := PrepareCtx(ctx, c.app)
+		if err != nil {
+			return fmt.Errorf("experiments: robustness seed %d: %w", c.seed, err)
+		}
+		pair, err := run.DesignCtx(ctx, core.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("experiments: robustness seed %d %s: %w", c.seed, c.app.Name, err)
+		}
+		buses[i] = pair.TotalBuses()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rowOf := map[string]*RobustnessRow{}
+	var order []string
+	for i, c := range combos {
+		row := rowOf[c.app.Name]
+		if row == nil {
+			row = &RobustnessRow{App: c.app.Name}
+			rowOf[c.app.Name] = row
+			order = append(order, c.app.Name)
+		}
+		row.Seeds = append(row.Seeds, c.seed)
+		row.Buses = append(row.Buses, buses[i])
 	}
 	var rows []RobustnessRow
 	for _, name := range order {

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/baseline"
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/report"
 	"repro/internal/workloads"
@@ -21,19 +24,24 @@ type Table1Row struct {
 // Table1 reproduces Table 1: Mat2 on a shared bus, a full crossbar and
 // the designed partial crossbar.
 func Table1(seed int64) ([]Table1Row, error) {
-	run, err := Prepare(workloads.Mat2(seed))
+	return Table1Ctx(context.Background(), seed)
+}
+
+// Table1Ctx is Table1 with cancellation.
+func Table1Ctx(ctx context.Context, seed int64) ([]Table1Row, error) {
+	run, err := PrepareCtx(ctx, workloads.Mat2(seed))
 	if err != nil {
 		return nil, err
 	}
-	shared, err := run.RunShared()
+	shared, err := run.RunSharedCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	pair, err := run.Design(core.DefaultOptions())
+	pair, err := run.DesignCtx(ctx, core.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	partial, err := run.Validate(pair)
+	partial, err := run.ValidateCtx(ctx, pair)
 	if err != nil {
 		return nil, err
 	}
@@ -69,23 +77,35 @@ type Table2Row struct {
 
 // Table2 reproduces Table 2 over the five benchmark applications.
 func Table2(seed int64) ([]Table2Row, error) {
-	var rows []Table2Row
-	for _, app := range workloads.All(seed) {
-		run, err := Prepare(app)
+	return Table2Ctx(context.Background(), seed)
+}
+
+// Table2Ctx is Table2 with cancellation; the five applications are
+// prepared and designed concurrently, each writing its own row.
+func Table2Ctx(ctx context.Context, seed int64) ([]Table2Row, error) {
+	apps := workloads.All(seed)
+	rows := make([]Table2Row, len(apps))
+	err := conc.ForEach(ctx, len(apps), 0, func(ctx context.Context, i int) error {
+		app := apps[i]
+		run, err := PrepareCtx(ctx, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pair, err := run.Design(core.DefaultOptions())
+		pair, err := run.DesignCtx(ctx, core.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		full := app.NumCores()
-		rows = append(rows, Table2Row{
+		rows[i] = Table2Row{
 			App:           app.Name,
 			FullBuses:     full,
 			DesignedBuses: pair.TotalBuses(),
 			Ratio:         float64(full) / float64(pair.TotalBuses()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -114,42 +134,54 @@ type Figure4Row struct {
 
 // Figure4 reproduces Figures 4(a) and 4(b) over the five benchmarks.
 func Figure4(seed int64) ([]Figure4Row, error) {
-	var rows []Figure4Row
-	for _, app := range workloads.All(seed) {
-		run, err := Prepare(app)
+	return Figure4Ctx(context.Background(), seed)
+}
+
+// Figure4Ctx is Figure4 with cancellation; applications run
+// concurrently, each writing its own row.
+func Figure4Ctx(ctx context.Context, seed int64) ([]Figure4Row, error) {
+	apps := workloads.All(seed)
+	rows := make([]Figure4Row, len(apps))
+	err := conc.ForEach(ctx, len(apps), 0, func(ctx context.Context, i int) error {
+		app := apps[i]
+		run, err := PrepareCtx(ctx, app)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Window-based design (ours).
-		pair, err := run.Design(core.DefaultOptions())
+		pair, err := run.DesignCtx(ctx, core.DefaultOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		win, err := run.Validate(pair)
+		win, err := run.ValidateCtx(ctx, pair)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Average-flow baseline design (prior approaches).
 		bReq, err := baseline.AverageFlow(run.Full.ReqTrace, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		bResp, err := baseline.AverageFlow(run.Full.RespTrace, 0)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		avg, err := run.ValidateBinding(bReq.BusOf, bResp.BusOf)
+		avg, err := run.ValidateBindingCtx(ctx, bReq.BusOf, bResp.BusOf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fs, ws, as := run.Full.Latency.SummarizePacket(), win.Latency.SummarizePacket(), avg.Latency.SummarizePacket()
-		rows = append(rows, Figure4Row{
+		rows[i] = Figure4Row{
 			App:       app.Name,
 			AvgRelAvg: as.Avg / fs.Avg,
 			WinRelAvg: ws.Avg / fs.Avg,
 			AvgRelMax: float64(as.Max) / float64(fs.Max),
 			WinRelMax: float64(ws.Max) / float64(fs.Max),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

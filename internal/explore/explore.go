@@ -9,9 +9,12 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/report"
@@ -56,51 +59,89 @@ type Point struct {
 // crossbar simulation for the trace, then per-combination analysis,
 // design and validation.
 func Sweep(app *workloads.App, grid Grid) ([]Point, error) {
-	run, err := experiments.Prepare(app)
+	return SweepCtx(context.Background(), app, grid)
+}
+
+// SweepCtx is Sweep with cancellation. The per-window analyses and the
+// flattened (window, threshold, cap) combinations are evaluated
+// concurrently, each writing its own point slot, so the sweep order
+// and content match the sequential evaluation exactly.
+//
+// A point is marked Infeasible only when the design failed with
+// core.ErrInfeasible or core.ErrSearchLimit (no configuration, or the
+// solver budget ran out proving one); any other error — including a
+// cancellation — aborts the whole sweep.
+func SweepCtx(ctx context.Context, app *workloads.App, grid Grid) ([]Point, error) {
+	run, err := experiments.PrepareCtx(ctx, app)
 	if err != nil {
 		return nil, err
 	}
-	var points []Point
-	for _, ws := range grid.Windows {
+	type analyses struct{ req, resp *trace.Analysis }
+	byWindow := make([]analyses, len(grid.Windows))
+	err = conc.ForEach(ctx, len(grid.Windows), 0, func(ctx context.Context, w int) error {
+		ws := grid.Windows[w]
 		if ws <= 0 {
 			ws = app.WindowSize
 		}
-		aReq, err := trace.Analyze(run.Full.ReqTrace, ws)
+		aReq, err := trace.AnalyzeCtx(ctx, run.Full.ReqTrace, ws)
 		if err != nil {
-			return nil, fmt.Errorf("explore: analyze req at ws=%d: %w", ws, err)
+			return fmt.Errorf("explore: analyze req at ws=%d: %w", ws, err)
 		}
-		aResp, err := trace.Analyze(run.Full.RespTrace, ws)
+		aResp, err := trace.AnalyzeCtx(ctx, run.Full.RespTrace, ws)
 		if err != nil {
-			return nil, fmt.Errorf("explore: analyze resp at ws=%d: %w", ws, err)
+			return fmt.Errorf("explore: analyze resp at ws=%d: %w", ws, err)
 		}
-		for _, thr := range grid.Thresholds {
-			for _, cap := range grid.MaxPerBus {
-				opts := core.Options{
-					OverlapThreshold: thr,
-					SeparateCritical: true,
-					MaxPerBus:        cap,
-					OptimizeBinding:  true,
+		byWindow[w] = analyses{req: aReq, resp: aResp}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nCombos := len(grid.Windows) * len(grid.Thresholds) * len(grid.MaxPerBus)
+	points := make([]Point, nCombos)
+	err = conc.ForEach(ctx, nCombos, 0, func(ctx context.Context, idx int) error {
+		w := idx / (len(grid.Thresholds) * len(grid.MaxPerBus))
+		rest := idx % (len(grid.Thresholds) * len(grid.MaxPerBus))
+		thr := grid.Thresholds[rest/len(grid.MaxPerBus)]
+		cap := grid.MaxPerBus[rest%len(grid.MaxPerBus)]
+		ws := grid.Windows[w]
+		if ws <= 0 {
+			ws = app.WindowSize
+		}
+		opts := core.Options{
+			OverlapThreshold: thr,
+			SeparateCritical: true,
+			MaxPerBus:        cap,
+			OptimizeBinding:  true,
+		}
+		p := Point{Window: ws, Threshold: thr, MaxPerBus: cap}
+		dReq, errReq := core.DesignCrossbarCtx(ctx, byWindow[w].req, opts)
+		dResp, errResp := core.DesignCrossbarCtx(ctx, byWindow[w].resp, opts)
+		if errReq != nil || errResp != nil {
+			for _, derr := range []error{errReq, errResp} {
+				if derr != nil && !errors.Is(derr, core.ErrInfeasible) && !errors.Is(derr, core.ErrSearchLimit) {
+					return derr
 				}
-				p := Point{Window: ws, Threshold: thr, MaxPerBus: cap}
-				dReq, errReq := core.DesignCrossbar(aReq, opts)
-				dResp, errResp := core.DesignCrossbar(aResp, opts)
-				if errReq != nil || errResp != nil {
-					p.Infeasible = true
-					points = append(points, p)
-					continue
-				}
-				pair := &experiments.DesignPair{Req: dReq, Resp: dResp}
-				res, err := run.Validate(pair)
-				if err != nil {
-					return nil, err
-				}
-				s := res.Latency.SummarizePacket()
-				p.Buses = pair.TotalBuses()
-				p.AvgLat = s.Avg
-				p.MaxLat = s.Max
-				points = append(points, p)
 			}
+			p.Infeasible = true
+			points[idx] = p
+			return nil
 		}
+		pair := &experiments.DesignPair{Req: dReq, Resp: dResp}
+		res, err := run.ValidateCtx(ctx, pair)
+		if err != nil {
+			return err
+		}
+		s := res.Latency.SummarizePacket()
+		p.Buses = pair.TotalBuses()
+		p.AvgLat = s.Avg
+		p.MaxLat = s.Max
+		points[idx] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

@@ -13,6 +13,7 @@
 package milp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -52,10 +53,24 @@ type Solution struct {
 // the search completes.
 var ErrNodeLimit = errors.New("milp: node limit exceeded")
 
+// ErrCanceled is returned when the context passed to SolveCtx is
+// canceled (or its deadline expires) before the search completes. The
+// underlying context error is wrapped, so both
+// errors.Is(err, ErrCanceled) and errors.Is(err, context.Canceled)
+// hold.
+var ErrCanceled = errors.New("milp: solve canceled")
+
 const intTol = 1e-6
 
 // Solve runs best-first branch and bound.
 func Solve(p *Problem, opts Options) (*Solution, error) {
+	return SolveCtx(context.Background(), p, opts)
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is
+// checked at every node expansion, so a cancellation surfaces within
+// one LP relaxation solve.
+func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	if len(p.Binary) != p.LP.NumVars {
 		return nil, fmt.Errorf("milp: Binary has %d entries, want %d", len(p.Binary), p.LP.NumVars)
 	}
@@ -98,6 +113,9 @@ func Solve(p *Problem, opts Options) (*Solution, error) {
 		nodes++
 		if nodes > maxNodes {
 			return nil, ErrNodeLimit
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("%w after %d nodes: %w", ErrCanceled, nodes, err)
 		}
 
 		sol, err := solveNode(&p.LP, upper, cur.fixed)

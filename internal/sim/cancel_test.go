@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestEngineRunCtxCanceled(t *testing.T) {
+	eng := NewEngine()
+	// A self-rescheduling tick generates one event per cycle, so the
+	// event loop is guaranteed to cross a cancellation checkpoint long
+	// before the horizon.
+	var tick func()
+	tick = func() { eng.At(eng.Now()+1, tick) }
+	eng.At(0, tick)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	end, err := eng.RunCtx(ctx, 1<<40)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want to also wrap context.Canceled", err)
+	}
+	if end <= 0 || end >= 1<<40 {
+		t.Errorf("clock stopped at %d, want mid-run", end)
+	}
+}
+
+func TestEngineRunCtxBackgroundCompletes(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	eng.At(5, func() { fired = true })
+	end, err := eng.RunCtx(context.Background(), 10)
+	if err != nil || end != 10 || !fired {
+		t.Errorf("RunCtx = (%d, %v), fired=%v; want (10, nil, true)", end, err, fired)
+	}
+}
+
+func TestRunCtxCanceledSystem(t *testing.T) {
+	// A long single-core program: enough bus events to reach the
+	// event-loop cancellation checkpoint.
+	var prog []Op
+	for i := 0; i < 3000; i++ {
+		prog = append(prog, Read(0, 4))
+	}
+	cfg := fullConfig(1, 1, [][]Op{prog})
+	cfg.Horizon = 1 << 40
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+
+	// The same run completes under a background context.
+	if _, err := RunCtx(context.Background(), cfg); err != nil {
+		t.Fatalf("background run: %v", err)
+	}
+}
+
+func TestValidateWrapsErrInvalidConfig(t *testing.T) {
+	cfg := &Config{}
+	err := cfg.Validate()
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("Validate() = %v, want wrapped ErrInvalidConfig", err)
+	}
+	if _, err := Run(Config{}); !errors.Is(err, ErrInvalidConfig) {
+		t.Errorf("Run(invalid) = %v, want wrapped ErrInvalidConfig", err)
+	}
+}

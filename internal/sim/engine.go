@@ -9,7 +9,22 @@
 // methodology analyzes.
 package sim
 
-import "container/heap"
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that a simulation was stopped by its context
+// before reaching the horizon. It wraps the context's cause, so
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) also holds.
+var ErrCanceled = errors.New("sim: run canceled")
+
+// cancelCheckMask throttles context polling in the event loop: the
+// context is consulted once every (mask+1) events, keeping the hot
+// loop branch-cheap while still reacting to cancellation promptly.
+const cancelCheckMask = 4095
 
 // Engine is a deterministic discrete-event clock. Events scheduled for
 // the same cycle run in scheduling order, which makes whole simulations
@@ -43,6 +58,15 @@ func (e *Engine) After(delay int64, fn func()) { e.At(e.now+delay, fn) }
 // Run processes events in order until the queue drains or the clock
 // would pass horizon. It returns the cycle the clock stopped at.
 func (e *Engine) Run(horizon int64) int64 {
+	end, _ := e.RunCtx(context.Background(), horizon) // Background never cancels
+	return end
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled
+// every few thousand events and a cancellation stops the clock at the
+// current cycle, returning an error wrapping ErrCanceled.
+func (e *Engine) RunCtx(ctx context.Context, horizon int64) (int64, error) {
+	var processed int64
 	for len(e.pq) > 0 {
 		next := e.pq[0]
 		if next.cycle > horizon {
@@ -51,11 +75,17 @@ func (e *Engine) Run(horizon int64) int64 {
 		heap.Pop(&e.pq)
 		e.now = next.cycle
 		next.fn()
+		processed++
+		if processed&cancelCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return e.now, fmt.Errorf("%w at cycle %d: %w", ErrCanceled, e.now, context.Cause(ctx))
+			}
+		}
 	}
 	if e.now < horizon {
 		e.now = horizon
 	}
-	return e.now
+	return e.now, nil
 }
 
 // Pending returns the number of queued events.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -8,6 +9,11 @@ import (
 	"repro/internal/stbus"
 	"repro/internal/trace"
 )
+
+// ErrInvalidConfig is wrapped around every configuration validation
+// failure, letting callers distinguish "the config is wrong" from
+// runtime failures with errors.Is across layer boundaries.
+var ErrInvalidConfig = errors.New("sim: invalid configuration")
 
 // Config describes a complete MPSoC simulation: the platform (two
 // interconnect directions, memory timing) plus one program per
@@ -48,8 +54,16 @@ type Config struct {
 	CollectTrace bool
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. Every failure wraps
+// ErrInvalidConfig.
 func (c *Config) Validate() error {
+	if err := c.validate(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
+	}
+	return nil
+}
+
+func (c *Config) validate() error {
 	if c.NumInitiators <= 0 || c.NumTargets <= 0 {
 		return errors.New("sim: need at least one initiator and one target")
 	}
@@ -169,6 +183,13 @@ type barrier struct {
 
 // Run executes the simulation described by cfg and returns its results.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cooperative cancellation: the event loop polls
+// ctx and a cancellation aborts the simulation with an error wrapping
+// ErrCanceled. A completed run is unaffected by the context.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -208,7 +229,10 @@ func Run(cfg Config) (*Result, error) {
 		s.cores = append(s.cores, c)
 		eng.At(0, c.step)
 	}
-	end := eng.Run(cfg.Horizon)
+	end, err := eng.RunCtx(ctx, cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{
 		Latency:    s.rec,

@@ -1,9 +1,11 @@
 package trace
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/ds"
 )
 
@@ -65,6 +67,14 @@ func (a *Analysis) PairCritOverlap(i, j, m int) int64 {
 // last window may be shorter if the horizon is not a multiple) and
 // computes the per-window traffic characteristics.
 func Analyze(tr *Trace, ws int64) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), tr, ws)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation and parallel
+// per-receiver/per-pair computation (sharded over GOMAXPROCS workers).
+// The result is identical to the serial analysis: every shard writes
+// disjoint rows of the output matrices.
+func AnalyzeCtx(ctx context.Context, tr *Trace, ws int64) (*Analysis, error) {
 	if ws <= 0 {
 		return nil, errors.New("trace: window size must be positive")
 	}
@@ -80,7 +90,7 @@ func Analyze(tr *Trace, ws int64) (*Analysis, error) {
 		}
 		boundaries[m] = b
 	}
-	return AnalyzeWithBoundaries(tr, boundaries)
+	return AnalyzeWithBoundariesCtx(ctx, tr, boundaries)
 }
 
 // AnalyzeWithBoundaries performs the window analysis with explicit
@@ -88,6 +98,12 @@ func Analyze(tr *Trace, ws int64) (*Analysis, error) {
 // paper lists as future work. Boundaries must be strictly increasing,
 // start at 0 and end at the trace horizon.
 func AnalyzeWithBoundaries(tr *Trace, boundaries []int64) (*Analysis, error) {
+	return AnalyzeWithBoundariesCtx(context.Background(), tr, boundaries)
+}
+
+// AnalyzeWithBoundariesCtx is AnalyzeWithBoundaries with cancellation
+// and parallel computation of the per-window matrices.
+func AnalyzeWithBoundariesCtx(ctx context.Context, tr *Trace, boundaries []int64) (*Analysis, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,14 +138,16 @@ func AnalyzeWithBoundaries(tr *Trace, boundaries []int64) (*Analysis, error) {
 
 	busy, critical := tr.busyByReceiver()
 
-	for i := 0; i < nT; i++ {
+	// Shard the per-window computation by receiver: shard i fills Comm
+	// row i and the Overlap/CritOverlap/OM entries of every pair (i, j)
+	// with j > i. Shards only read the shared interval sets and write
+	// disjoint matrix slots, so the parallel result is bit-identical to
+	// the serial one.
+	err := conc.ForEach(ctx, nT, 0, func(ctx context.Context, i int) error {
 		for m := 0; m < nW; m++ {
 			a.Comm.Set(i, m, busy[i].ClipLen(boundaries[m], boundaries[m+1]))
 			a.CritComm.Set(i, m, critical[i].ClipLen(boundaries[m], boundaries[m+1]))
 		}
-	}
-
-	for i := 0; i < nT; i++ {
 		for j := i + 1; j < nT; j++ {
 			inter := busy[i].Intersection(busy[j])
 			critInter := critical[i].Intersection(critical[j])
@@ -145,6 +163,10 @@ func AnalyzeWithBoundaries(tr *Trace, boundaries []int64) (*Analysis, error) {
 				a.OM.Set(i, j, total)
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("trace: analysis canceled: %w", err)
 	}
 	return a, nil
 }

@@ -1,0 +1,110 @@
+package stbusgen_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	stbusgen "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+// designsEqual compares the deterministic fields of a design pair.
+// SearchNodes is deliberately excluded: speculative probing does a
+// different *amount* of work per run, but must land on the same answer.
+func designsEqual(a, b *experiments.DesignPair) bool {
+	eq := func(x, y *core.Design) bool {
+		return x.NumBuses == y.NumBuses &&
+			x.MaxBusOverlap == y.MaxBusOverlap &&
+			reflect.DeepEqual(x.BusOf, y.BusOf)
+	}
+	return eq(a.Req, b.Req) && eq(a.Resp, b.Resp)
+}
+
+// TestParallelDesignDeterminism: on every paper benchmark, the
+// parallel engine produces a bit-identical design (bus counts and
+// bindings, both directions) to the serial path, independent of
+// GOMAXPROCS and of the Workers knob.
+func TestParallelDesignDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping full-benchmark determinism sweep in -short mode")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	for _, app := range workloads.All(experiments.Seed) {
+		run, err := experiments.Prepare(app)
+		if err != nil {
+			t.Fatalf("%s: prepare: %v", app.Name, err)
+		}
+		serial := core.DefaultOptions()
+		serial.Workers = 1
+		want, err := run.DesignCtx(context.Background(), serial)
+		if err != nil {
+			t.Fatalf("%s: serial design: %v", app.Name, err)
+		}
+		for _, procs := range []int{1, 2, 4} {
+			for _, workers := range []int{0, 2, 4} {
+				runtime.GOMAXPROCS(procs)
+				opts := core.DefaultOptions()
+				opts.Workers = workers
+				got, err := run.DesignCtx(context.Background(), opts)
+				if err != nil {
+					t.Fatalf("%s: GOMAXPROCS=%d workers=%d: %v", app.Name, procs, workers, err)
+				}
+				if !designsEqual(want, got) {
+					t.Errorf("%s: GOMAXPROCS=%d workers=%d: design differs from serial:\n serial   req %d buses %v / resp %d buses %v\n parallel req %d buses %v / resp %d buses %v",
+						app.Name, procs, workers,
+						want.Req.NumBuses, want.Req.BusOf, want.Resp.NumBuses, want.Resp.BusOf,
+						got.Req.NumBuses, got.Req.BusOf, got.Resp.NumBuses, got.Resp.BusOf)
+				}
+			}
+		}
+	}
+}
+
+// TestDesignerCanceled: a cancellation arriving mid-pipeline aborts
+// the facade Design promptly with a context error.
+func TestDesignerCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d := stbusgen.NewDesigner(stbusgen.DefaultOptions())
+	if _, err := d.Design(ctx, stbusgen.Mat2(experiments.Seed)); !errors.Is(err, context.Canceled) {
+		t.Errorf("Design under canceled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// BenchmarkParallelDesign compares the serial and the parallel engine
+// on the full DesignForApp pipeline. On a single-core machine the two
+// should be within noise of each other (the parallel engine must not
+// cost anything); with more cores the parallel engine wins on the
+// speculative feasibility probes and the concurrent direction designs.
+func BenchmarkParallelDesign(b *testing.B) {
+	apps := map[string]func(int64) *stbusgen.App{
+		"Mat2": stbusgen.Mat2,
+		"FFT":  stbusgen.FFT,
+	}
+	for name, mk := range apps {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", 0}, // 0 = GOMAXPROCS
+		} {
+			b.Run(name+"/"+mode.name, func(b *testing.B) {
+				app := mk(experiments.Seed)
+				opts := stbusgen.DefaultOptions()
+				opts.Workers = mode.workers
+				for i := 0; i < b.N; i++ {
+					if _, err := stbusgen.DesignForAppCtx(context.Background(), app, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

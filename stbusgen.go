@@ -25,12 +25,12 @@
 package stbusgen
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sim"
-	"repro/internal/stbus"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -100,61 +100,39 @@ type Result struct {
 // DesignForApp runs the complete methodology on an application: full
 // crossbar simulation, window analysis with the app's recommended
 // window size, crossbar design for both directions, and validation.
+// It is DesignForAppCtx with a background context; use the Designer
+// engine (designer.go) for cancellation and deadlines.
 func DesignForApp(app *App, opts Options) (*Result, error) {
-	run, err := experiments.Prepare(app)
-	if err != nil {
-		return nil, err
-	}
-	pair, err := run.Design(opts)
-	if err != nil {
-		return nil, err
-	}
-	validation, err := run.Validate(pair)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{
-		App:          app,
-		FullRun:      run.Full,
-		ReqAnalysis:  run.AReq,
-		RespAnalysis: run.AResp,
-		Pair:         pair,
-		Validation:   validation,
-	}, nil
+	return DesignForAppCtx(context.Background(), app, opts)
 }
 
 // CollectTrace runs the application on a full crossbar and returns the
 // functional traces of both directions (phase 1 only).
 func CollectTrace(app *App) (req, resp *Trace, err error) {
-	fullReq, fullResp := app.FullConfig()
-	res, err := sim.Run(app.SimConfig(fullReq, fullResp))
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.ReqTrace, res.RespTrace, nil
+	return CollectTraceCtx(context.Background(), app)
 }
 
 // DesignFromTrace designs one direction's crossbar from an existing
 // trace with the given window size (phases 2–3 only); this is what
 // cmd/xbargen uses on trace files.
 func DesignFromTrace(tr *Trace, windowSize int64, opts Options) (*Design, error) {
-	a, err := trace.Analyze(tr, windowSize)
-	if err != nil {
-		return nil, err
+	return DesignFromTraceCtx(context.Background(), tr, windowSize, opts)
+}
+
+// checkPair validates that a design pair's bindings match the app's
+// platform shape.
+func checkPair(app *App, pair *DesignPair) error {
+	if len(pair.Req.BusOf) != app.NumTargets {
+		return fmt.Errorf("stbusgen: request binding covers %d targets, app has %d", len(pair.Req.BusOf), app.NumTargets)
 	}
-	return core.DesignCrossbar(a, opts)
+	if len(pair.Resp.BusOf) != app.NumInitiators {
+		return fmt.Errorf("stbusgen: response binding covers %d initiators, app has %d", len(pair.Resp.BusOf), app.NumInitiators)
+	}
+	return nil
 }
 
 // ValidateDesign simulates the application on an explicit pair of
 // designed crossbars and returns the cycle-accurate results.
 func ValidateDesign(app *App, pair *DesignPair) (*SimResult, error) {
-	if len(pair.Req.BusOf) != app.NumTargets {
-		return nil, fmt.Errorf("stbusgen: request binding covers %d targets, app has %d", len(pair.Req.BusOf), app.NumTargets)
-	}
-	if len(pair.Resp.BusOf) != app.NumInitiators {
-		return nil, fmt.Errorf("stbusgen: response binding covers %d initiators, app has %d", len(pair.Resp.BusOf), app.NumInitiators)
-	}
-	req := stbus.Partial(app.NumInitiators, pair.Req.BusOf)
-	resp := stbus.Partial(app.NumTargets, pair.Resp.BusOf)
-	return sim.Run(app.SimConfig(req, resp))
+	return ValidateDesignCtx(context.Background(), app, pair)
 }
