@@ -34,6 +34,16 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
+	stopProf, err := cli.StartProfiling()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
 		selected[strings.TrimSpace(strings.ToLower(name))] = true

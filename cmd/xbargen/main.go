@@ -43,6 +43,16 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
+	stopProf, err := cli.StartProfiling()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}()
+
 	if *tracePath == "" {
 		log.Fatal("missing -trace")
 	}

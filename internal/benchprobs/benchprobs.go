@@ -1,0 +1,73 @@
+// Package benchprobs builds deterministic solver benchmark instances.
+// They are shared by the in-tree `go test -bench` microbenchmarks and
+// the cmd/solverbench runner that writes BENCH_solver.json, so both
+// always measure the same problems.
+//
+// The package deliberately depends only on internal/trace: benchmark
+// code living inside internal/core (and the solverbench command) can
+// import it without an import cycle.
+package benchprobs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// Analysis32 returns the window analysis of a synthetic trace with 32
+// receivers — the STbus architectural maximum and the largest
+// feasibility MILP the crossbar methodology ever formulates. The
+// traffic is staggered DMA-style bursts with a deterministic layout:
+// heavy enough that several buses are needed, light enough that the
+// instance stays feasible well below 32 buses.
+func Analysis32() *trace.Analysis {
+	return analysisN(32)
+}
+
+// Analysis12 is a mid-size (12-receiver) variant used for the
+// feasibility before/after comparison: unlike Analysis32 it is small
+// enough for the legacy cold-solve path to finish.
+func Analysis12() *trace.Analysis {
+	return analysisN(12)
+}
+
+// Analysis8 is the small variant used for the binding (optimize-mode)
+// benchmarks: the exact binding MILP of Eq. 9–11 couples every bus pair
+// through the shared max-overlap variable and is far more expensive per
+// bus count than the feasibility probe, so it gets the smallest
+// instance.
+func Analysis8() *trace.Analysis {
+	return analysisN(8)
+}
+
+func analysisN(n int) *trace.Analysis {
+	const (
+		horizon = 4000
+		window  = 400
+	)
+	rng := rand.New(rand.NewSource(int64(n) * 7919))
+	tr := &trace.Trace{NumReceivers: n, NumSenders: 1, Horizon: horizon}
+	for r := 0; r < n; r++ {
+		// Each receiver bursts once per period; periods and phases are
+		// spread so windows see varied pairings and some hot spots.
+		period := int64(400 + 25*(r%5))
+		phase := int64((r * 137) % 400)
+		burst := int64(100 + 12*(r%4) + rng.Intn(8))
+		for s := phase; s < horizon; s += period {
+			l := burst
+			if s+l > horizon {
+				l = horizon - s
+			}
+			if l <= 0 {
+				continue
+			}
+			tr.Events = append(tr.Events, trace.Event{Start: s, Len: l, Receiver: r})
+		}
+	}
+	a, err := trace.Analyze(tr, window)
+	if err != nil {
+		panic(fmt.Sprintf("benchprobs: %v", err))
+	}
+	return a
+}

@@ -6,8 +6,11 @@ package cli
 
 import (
 	"context"
+	"flag"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 )
@@ -26,4 +29,52 @@ func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
 		cancel()
 		stop()
 	}
+}
+
+// Profiling flags shared by every tool. They are registered on the
+// default flag set at package init, so importing cli is enough for a
+// tool to accept -cpuprofile and -memprofile.
+var (
+	cpuProfilePath = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfilePath = flag.String("memprofile", "", "write a heap profile to this file at exit")
+)
+
+// StartProfiling honors the -cpuprofile / -memprofile flags. Call it
+// after flag.Parse; the returned stop function finishes the CPU profile
+// and writes the heap profile, so it must run on the tool's normal exit
+// path (profiles are not written when the tool dies via log.Fatal —
+// that trade keeps the call sites to a single deferred stop).
+func StartProfiling() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *cpuProfilePath != "" {
+		cpuFile, err = os.Create(*cpuProfilePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *memProfilePath != "" {
+			f, err := os.Create(*memProfilePath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // flush recently freed objects out of the heap profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			return f.Close()
+		}
+		return nil
+	}, nil
 }

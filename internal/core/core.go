@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"repro/internal/conc"
+	"repro/internal/milp"
 	"repro/internal/trace"
 )
 
@@ -85,6 +86,11 @@ type Options struct {
 	Engine Engine
 	// MaxNodes bounds the search effort per solve (0 = default).
 	MaxNodes int64
+	// MILPLegacy runs EngineMILP with the pre-incremental solver: cold
+	// per-node LP rebuilds and weak symmetry breaking only. It exists
+	// to benchmark the warm-started engine against its predecessor and
+	// as an escape hatch; it does not affect the other engines.
+	MILPLegacy bool
 	// Workers bounds the speculative parallelism of the feasibility
 	// binary search: up to Workers candidate bus counts are probed
 	// concurrently, with obsoleted probes canceled as soon as a sibling
@@ -201,10 +207,22 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		lb = ub
 	}
 
+	// The MILP engine shares one formulation skeleton (reduced windows,
+	// pair selection) across every bus-count probe of this design run,
+	// including the speculative parallel ones.
+	var formulator *Formulator
+	if opts.Engine == EngineMILP {
+		sym := SymFull
+		if opts.MILPLegacy {
+			sym = SymWeak
+		}
+		formulator = NewFormulator(a, conflicts, maxPerBus, sym)
+	}
+
 	solve := func(ctx context.Context, k int, optimize bool) (*assignResult, error) {
 		switch {
 		case opts.Engine == EngineMILP:
-			return solveMILP(ctx, a, conflicts, k, maxPerBus, optimize)
+			return solveFormulated(ctx, formulator, k, optimize, milp.Options{Cold: opts.MILPLegacy})
 		case opts.Engine == EngineAnneal && optimize:
 			res, err := prob.solve(ctx, k, false)
 			if err != nil || !res.feasible {

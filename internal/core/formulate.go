@@ -4,10 +4,41 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/lp"
 	"repro/internal/milp"
 	"repro/internal/trace"
+)
+
+// SymmetryLevel selects how aggressively the MILP formulation breaks
+// the interchangeability of buses. None of the levels is in the paper;
+// all are sound (they remove only permuted copies of solutions, never
+// the canonical representative), and because the binding objective
+// maxov is invariant under bus relabeling they are valid in binding
+// mode too.
+type SymmetryLevel int
+
+const (
+	// SymFull adds the weak rows plus, in binding (optimize) mode,
+	// canonical-ordering rows: receiver i may use bus k ≥ 1 only if
+	// some receiver j < i uses bus k−1. Under the canonical labeling
+	// (buses ordered by their minimal member, empty buses last) every
+	// feasible binding satisfies these rows, so exactly one
+	// representative of each orbit of the k! bus permutations
+	// survives. The canonical rows are deliberately NOT emitted for
+	// feasibility probes: an exhaustive optimality search profits from
+	// pruning symmetric subtrees, but a first-feasible dive only needs
+	// ANY solution, and on the benchprobs instances the extra rows
+	// slow the dive several-fold (12 receivers: 27 vs 6 nodes;
+	// 32 receivers: 35 vs 6). The default.
+	SymFull SymmetryLevel = iota
+	// SymWeak is the pre-incremental behavior: x_{i,k} = 0 for k > i
+	// (receiver i may only use buses 0..i).
+	SymWeak
+	// SymNone disables symmetry breaking entirely (the paper-literal
+	// formulation).
+	SymNone
 )
 
 // Formulation is the paper's MILP (Eq. 3–9, plus Eq. 11 in binding
@@ -29,27 +60,72 @@ type Formulation struct {
 	MaxovIdx int
 }
 
-// Formulate builds the MILP for one candidate bus count. The windowed
-// bandwidth constraints use the Pareto-reduced window set (dominated
-// windows cannot be binding).
-func Formulate(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) *Formulation {
-	nT := a.NumReceivers
-	nB := numBuses
-	keep := reduceWindows(a)
+type pairIJ struct{ i, j int }
 
-	// Pair selection: sb/s variables exist only where they constrain
-	// something.
-	type pair struct{ i, j int }
-	var pairs []pair
-	pairIdx := map[pair]int{}
-	for i := 0; i < nT; i++ {
-		for j := i + 1; j < nT; j++ {
-			if conflicts[i][j] || (optimize && a.OM.At(i, j) > 0) {
-				pairIdx[pair{i, j}] = len(pairs)
-				pairs = append(pairs, pair{i, j})
+// Formulator caches the bus-count-independent skeleton of the MILP
+// formulation for one analysis: the Pareto-reduced window set and the
+// sharing-pair selections. The parallel feasibility search (search.go)
+// probes many adjacent bus counts against the same analysis, and
+// without the cache every probe re-derived both from scratch.
+// ForBusCount only materializes the bus-count-dependent constraint
+// rows. The lazily built parts are guarded by sync.Once, so a
+// Formulator is safe for concurrent probes.
+type Formulator struct {
+	a         *trace.Analysis
+	conflicts [][]bool
+	maxPerBus int
+	symmetry  SymmetryLevel
+
+	onceWindows sync.Once
+	keep        []int
+
+	// Pair selection differs between feasibility (conflict pairs only)
+	// and binding (plus positive-overlap pairs); index by optimize.
+	oncePairs [2]sync.Once
+	pairs     [2][]pairIJ
+}
+
+// NewFormulator prepares the shared skeleton for the given analysis
+// and conflict matrix. The heavy parts are computed lazily on first
+// use and reused by every subsequent ForBusCount call.
+func NewFormulator(a *trace.Analysis, conflicts [][]bool, maxPerBus int, symmetry SymmetryLevel) *Formulator {
+	return &Formulator{a: a, conflicts: conflicts, maxPerBus: maxPerBus, symmetry: symmetry}
+}
+
+func (f *Formulator) windows() []int {
+	f.onceWindows.Do(func() { f.keep = reduceWindows(f.a) })
+	return f.keep
+}
+
+func (f *Formulator) pairsFor(optimize bool) []pairIJ {
+	idx := 0
+	if optimize {
+		idx = 1
+	}
+	f.oncePairs[idx].Do(func() {
+		nT := f.a.NumReceivers
+		var pairs []pairIJ
+		for i := 0; i < nT; i++ {
+			for j := i + 1; j < nT; j++ {
+				if f.conflicts[i][j] || (optimize && f.a.OM.At(i, j) > 0) {
+					pairs = append(pairs, pairIJ{i, j})
+				}
 			}
 		}
-	}
+		f.pairs[idx] = pairs
+	})
+	return f.pairs[idx]
+}
+
+// ForBusCount materializes the MILP for one candidate bus count. The
+// windowed bandwidth constraints use the Pareto-reduced window set
+// (dominated windows cannot be binding).
+func (f *Formulator) ForBusCount(numBuses int, optimize bool) *Formulation {
+	a := f.a
+	nT := a.NumReceivers
+	nB := numBuses
+	keep := f.windows()
+	pairs := f.pairsFor(optimize)
 
 	numX := nT * nB
 	numSB := len(pairs) * nB
@@ -129,19 +205,19 @@ func Formulate(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, o
 
 	// Eq. 7: conflicting pairs never share (c_ij × s_ij = 0).
 	for p, pr := range pairs {
-		if conflicts[pr.i][pr.j] {
+		if f.conflicts[pr.i][pr.j] {
 			prob.LP.AddConstraint(lp.EQ, 0, lp.Term{Var: sv(p), Coef: 1})
 		}
 	}
 
 	// Eq. 8: at most maxtb receivers per bus.
-	if maxPerBus < nT {
+	if f.maxPerBus < nT {
 		for k := 0; k < nB; k++ {
 			terms := make([]lp.Term, nT)
 			for i := 0; i < nT; i++ {
 				terms[i] = lp.Term{Var: x(i, k), Coef: 1}
 			}
-			prob.LP.AddConstraint(lp.LE, float64(maxPerBus), terms...)
+			prob.LP.AddConstraint(lp.LE, float64(f.maxPerBus), terms...)
 		}
 	}
 
@@ -162,12 +238,32 @@ func Formulate(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, o
 		}
 	}
 
-	// Symmetry breaking (buses are interchangeable): receiver i may
-	// only use buses 0..i. This is not in the paper but is sound and
-	// keeps the branch-and-bound tree small.
-	for i := 0; i < nT && i < nB; i++ {
-		for k := i + 1; k < nB; k++ {
-			prob.LP.AddConstraint(lp.EQ, 0, lp.Term{Var: x(i, k), Coef: 1})
+	// Symmetry breaking (buses are interchangeable; see SymmetryLevel).
+	if f.symmetry != SymNone {
+		// Weak rows: receiver i may only use buses 0..i.
+		for i := 0; i < nT && i < nB; i++ {
+			for k := i + 1; k < nB; k++ {
+				prob.LP.AddConstraint(lp.EQ, 0, lp.Term{Var: x(i, k), Coef: 1})
+			}
+		}
+	}
+	if f.symmetry == SymFull && optimize {
+		// Canonical-ordering rows: x_{i,k} ≤ Σ_{j<i} x_{j,k−1} for
+		// k ≥ 1 — bus k may only be opened by receiver i if bus k−1
+		// was opened by an earlier receiver. Together with the weak
+		// rows this admits exactly the bindings whose buses are
+		// labeled in order of their minimal member (empty buses last),
+		// one representative per permutation orbit. Relabeling
+		// preserves feasibility and the maxov objective, so neither
+		// mode loses its optimum.
+		for i := 1; i < nT; i++ {
+			for k := 1; k < nB && k <= i; k++ {
+				terms := []lp.Term{{Var: x(i, k), Coef: 1}}
+				for j := 0; j < i; j++ {
+					terms = append(terms, lp.Term{Var: x(j, k-1), Coef: -1})
+				}
+				prob.LP.AddConstraint(lp.LE, 0, terms...)
+			}
 		}
 	}
 
@@ -178,6 +274,14 @@ func Formulate(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, o
 		xIdx:     x,
 		MaxovIdx: maxovIdx,
 	}
+}
+
+// Formulate builds the MILP for one candidate bus count with the
+// default symmetry level. Callers that probe several bus counts for
+// the same analysis should construct a Formulator once and use
+// ForBusCount, which reuses the analysis-dependent skeleton.
+func Formulate(a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) *Formulation {
+	return NewFormulator(a, conflicts, maxPerBus, SymFull).ForBusCount(numBuses, optimize)
 }
 
 // Extract reads the receiver→bus binding out of a MILP solution.
@@ -200,13 +304,14 @@ func (f *Formulation) Extract(x []float64) ([]int, error) {
 	return busOf, nil
 }
 
-// solveMILP runs the paper-literal formulation for one bus count. A
-// cancellation of the underlying MILP search is re-labeled with the
-// design-path sentinel so errors.Is(err, ErrCanceled) holds for every
-// engine.
-func solveMILP(ctx context.Context, a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) (*assignResult, error) {
-	f := Formulate(a, conflicts, numBuses, maxPerBus, optimize)
-	sol, err := milp.SolveCtx(ctx, f.Problem, milp.Options{FirstFeasible: !optimize})
+// solveFormulated runs one bus-count probe against a shared
+// Formulator. A cancellation of the underlying MILP search is
+// re-labeled with the design-path sentinel so errors.Is(err,
+// ErrCanceled) holds for every engine.
+func solveFormulated(ctx context.Context, fr *Formulator, numBuses int, optimize bool, solver milp.Options) (*assignResult, error) {
+	f := fr.ForBusCount(numBuses, optimize)
+	solver.FirstFeasible = !optimize
+	sol, err := milp.SolveCtx(ctx, f.Problem, solver)
 	if err != nil {
 		if errors.Is(err, milp.ErrCanceled) {
 			return nil, fmt.Errorf("core: MILP solve (%d buses): %w: %w", numBuses, ErrCanceled, err)
@@ -223,6 +328,14 @@ func solveMILP(ctx context.Context, a *trace.Analysis, conflicts [][]bool, numBu
 	}
 	res.feasible = true
 	res.busOf = busOf
-	res.maxOverlap = MaxOverlapOfMatrix(a.OM, numBuses, busOf)
+	res.maxOverlap = MaxOverlapOfMatrix(fr.a.OM, numBuses, busOf)
 	return res, nil
+}
+
+// solveMILP runs the paper-literal formulation for one bus count with
+// a fresh Formulator — the compatibility entry point for callers that
+// probe a single count.
+func solveMILP(ctx context.Context, a *trace.Analysis, conflicts [][]bool, numBuses, maxPerBus int, optimize bool) (*assignResult, error) {
+	fr := NewFormulator(a, conflicts, maxPerBus, SymFull)
+	return solveFormulated(ctx, fr, numBuses, optimize, milp.Options{})
 }

@@ -77,16 +77,65 @@ func SolveBounded(p *Problem, upper []float64) (*Solution, error) {
 // boundedTableau is the bounded-variable simplex working state.
 // rows holds B⁻¹A (no RHS column); basic values are carried in xB.
 // Nonbasic variables sit at 0 (their lower bound) or at upper[j].
+//
+// The two optional overlays (nil in the plain SolveBounded path) exist
+// for the NodeSolver: noEnter marks columns that may never be chosen as
+// an entering column (artificial variables and branch-fixed binaries),
+// and fixVal pins a column to an exact value — its effective bounds
+// collapse to [fixVal, fixVal] — without rewriting the constraint rows.
 type boundedTableau struct {
 	m, numCols    int
 	numArtificial int
 	artStart      int
-	rows          [][]float64
-	xB            []float64
-	basis         []int
-	isBasic       []bool
-	atUpper       []bool // for nonbasic columns
-	upper         []float64
+	// width is the number of leading columns that row operations keep
+	// current; columns in [width, numCols) are write-once and never read
+	// again. SolveBounded uses the full width. The NodeSolver sets width
+	// to artStart: its artificial columns are barred from entering for
+	// the solver's whole lifetime, so their tableau entries are dead —
+	// only their basis membership and xB values matter — and skipping
+	// them removes an m-sized block from every pivot's row arithmetic.
+	width   int
+	rows    [][]float64
+	xB      []float64
+	basis   []int
+	isBasic []bool
+	atUpper []bool // for nonbasic columns
+	upper   []float64
+	noEnter []bool    // columns barred from entering the basis
+	fixVal  []float64 // NaN = free; otherwise the pinned value
+}
+
+// isFixed reports whether column j is pinned to an exact value.
+func (t *boundedTableau) isFixed(j int) bool {
+	return t.fixVal != nil && !math.IsNaN(t.fixVal[j])
+}
+
+// loCol / upCol are the effective bounds of column j: [0, upper[j]]
+// normally, collapsed to the pinned value for fixed columns.
+func (t *boundedTableau) loCol(j int) float64 {
+	if t.isFixed(j) {
+		return t.fixVal[j]
+	}
+	return 0
+}
+
+func (t *boundedTableau) upCol(j int) float64 {
+	if t.isFixed(j) {
+		return t.fixVal[j]
+	}
+	return t.upper[j]
+}
+
+// nbValue is the value a nonbasic column currently sits at.
+func (t *boundedTableau) nbValue(j int) float64 {
+	if t.atUpper[j] {
+		return t.upper[j]
+	}
+	return 0
+}
+
+func (t *boundedTableau) barred(j int) bool {
+	return t.noEnter != nil && t.noEnter[j]
 }
 
 func newBoundedTableau(p *Problem, structUpper []float64) *boundedTableau {
@@ -116,6 +165,7 @@ func newBoundedTableau(p *Problem, structUpper []float64) *boundedTableau {
 	t := &boundedTableau{
 		m:             m,
 		numCols:       numCols,
+		width:         numCols,
 		numArtificial: numArt,
 		artStart:      p.NumVars + numSlack,
 		rows:          make([][]float64, m),
@@ -205,7 +255,7 @@ func (t *boundedTableau) pinArtificials() {
 		// column; the entering variable keeps its current bound value
 		// (the artificial leaves at level ≈ 0, so nothing moves).
 		for j := 0; j < t.artStart; j++ {
-			if !t.isBasic[j] && math.Abs(t.rows[i][j]) > eps {
+			if !t.isBasic[j] && !t.barred(j) && math.Abs(t.rows[i][j]) > eps {
 				val := 0.0
 				if t.atUpper[j] {
 					val = t.upper[j]
@@ -241,6 +291,9 @@ func (t *boundedTableau) values() []float64 {
 func (t *boundedTableau) run(costs []float64) error {
 	maxIters := 1000 * (t.m + t.numCols + 10)
 	blandAfter := 20 * (t.m + t.numCols + 10)
+	if debugIterBudget > 0 {
+		maxIters = debugIterBudget
+	}
 	z := make([]float64, t.numCols)
 	refresh := func() {
 		// z_j = c_j − c_B·B⁻¹A_j.
@@ -252,7 +305,7 @@ func (t *boundedTableau) run(costs []float64) error {
 				any = true
 			}
 		}
-		for j := 0; j < t.numCols; j++ {
+		for j := 0; j < t.width; j++ {
 			v := costs[j]
 			if any {
 				for i := 0; i < t.m; i++ {
@@ -271,7 +324,7 @@ func (t *boundedTableau) run(costs []float64) error {
 	// objective, and the movement direction (+1 from lower, −1 from
 	// upper).
 	eligible := func(j int) (float64, bool) {
-		if t.isBasic[j] {
+		if t.isBasic[j] || t.barred(j) {
 			return 0, false
 		}
 		if !t.atUpper[j] && z[j] < -eps {
@@ -290,14 +343,14 @@ func (t *boundedTableau) run(costs []float64) error {
 		entering, dir := -1, 0.0
 		if iter < blandAfter {
 			best := eps
-			for j := 0; j < t.numCols; j++ {
+			for j := 0; j < t.width; j++ {
 				if d, ok := eligible(j); ok && math.Abs(z[j]) > best {
 					best = math.Abs(z[j])
 					entering, dir = j, d
 				}
 			}
 		} else {
-			for j := 0; j < t.numCols; j++ {
+			for j := 0; j < t.width; j++ {
 				if d, ok := eligible(j); ok {
 					entering, dir = j, d
 					break
@@ -306,7 +359,7 @@ func (t *boundedTableau) run(costs []float64) error {
 		}
 		if entering == -1 {
 			refresh()
-			for j := 0; j < t.numCols; j++ {
+			for j := 0; j < t.width; j++ {
 				if d, ok := eligible(j); ok {
 					entering, dir = j, d
 					break
@@ -331,10 +384,10 @@ func (t *boundedTableau) run(costs []float64) error {
 			var limit float64
 			var hitsUpper bool
 			if delta < 0 {
-				limit = t.xB[i] / -delta // falls to 0
+				limit = (t.xB[i] - t.loCol(t.basis[i])) / -delta // falls to its lower bound
 				hitsUpper = false
 			} else {
-				ub := t.upper[t.basis[i]]
+				ub := t.upCol(t.basis[i])
 				if math.IsInf(ub, 1) {
 					continue
 				}
@@ -385,7 +438,7 @@ func (t *boundedTableau) run(costs []float64) error {
 		f := z[entering]
 		if f != 0 {
 			row := t.rows[leaving]
-			for j := 0; j < t.numCols; j++ {
+			for j := 0; j < t.width; j++ {
 				z[j] -= f * row[j]
 			}
 			z[entering] = 0
@@ -399,7 +452,7 @@ func (t *boundedTableau) pivot(l, e int, val float64) {
 	leavingCol := t.basis[l]
 	row := t.rows[l]
 	inv := 1.0 / row[e]
-	for j := range row {
+	for j := 0; j < t.width; j++ {
 		row[j] *= inv
 	}
 	row[e] = 1
@@ -412,7 +465,7 @@ func (t *boundedTableau) pivot(l, e int, val float64) {
 			continue
 		}
 		other := t.rows[i]
-		for j := range other {
+		for j := 0; j < t.width; j++ {
 			other[j] -= f * row[j]
 		}
 		other[e] = 0

@@ -105,6 +105,16 @@ const eps = 1e-9
 // within the iteration budget (indicative of numerical trouble).
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// debugIterBudget, when positive, overrides the pivot budget of the
+// primal simplex loops. debugDualBudget does the same for the
+// NodeSolver's dual-simplex pass. They exist purely so tests can force
+// the ErrIterationLimit and warm-start fallback paths on small
+// problems.
+var (
+	debugIterBudget = 0
+	debugDualBudget = 0
+)
+
 // Solve runs the two-phase simplex method on p.
 func Solve(p *Problem) (*Solution, error) {
 	if p.NumVars < 0 {
@@ -287,6 +297,9 @@ func (t *tableau) runSimplex(costs []float64) error {
 	// that the remaining budget is effectively unbounded for it.
 	maxIters := 1000 * (t.m + t.numCols + 10)
 	blandAfter := 20 * (t.m + t.numCols + 10)
+	if debugIterBudget > 0 {
+		maxIters = debugIterBudget
+	}
 	z := make([]float64, t.numCols)
 	refresh := func() {
 		for j := 0; j < t.numCols; j++ {
