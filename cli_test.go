@@ -1,6 +1,7 @@
 package stbusgen_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -42,7 +43,7 @@ func TestCLIPipeline(t *testing.T) {
 	statBin := buildTool(t, dir, "tracestat")
 
 	prefix := filepath.Join(dir, "qsort")
-	out := runTool(t, simBin, "-app", "qsort", "-arch", "full", "-trace-out", prefix)
+	out := runTool(t, simBin, "-app", "qsort", "-arch", "full", "-dump-traces", prefix)
 	if !strings.Contains(out, "QSort on full STbus") {
 		t.Errorf("stbus-sim output unexpected:\n%s", out)
 	}
@@ -104,6 +105,62 @@ func TestCLISpecAndVCD(t *testing.T) {
 	}
 	if !strings.Contains(string(wave), "$enddefinitions $end") {
 		t.Error("VCD output malformed")
+	}
+}
+
+// TestCLITraceExport runs the simulate→design flow with -trace-out and
+// validates the emitted Chrome trace-event JSON: it must parse, carry
+// the expected top-level phase spans, and stay within the trace-event
+// schema (X events with non-negative timestamps). This is the CI guard
+// against instrumentation rot.
+func TestCLITraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	simBin := buildTool(t, dir, "stbus-sim")
+	genBin := buildTool(t, dir, "xbargen")
+
+	prefix := filepath.Join(dir, "mat2")
+	runTool(t, simBin, "-app", "mat2", "-arch", "full", "-dump-traces", prefix)
+
+	tracePath := filepath.Join(dir, "design.trace.json")
+	runTool(t, genBin, "-trace", prefix+".req.trc", "-window", "800", "-trace-out", tracePath)
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, data)
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", parsed.DisplayTimeUnit)
+	}
+	seen := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		seen[e.Name] = true
+		if e.Ph != "X" && e.Ph != "M" {
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Errorf("event %s has negative time (ts=%v dur=%v)", e.Name, e.Ts, e.Dur)
+		}
+	}
+	for _, want := range []string{"trace.analyze", "core.design", "core.search", "core.probe", "core.bind"} {
+		if !seen[want] {
+			t.Errorf("trace is missing expected phase span %q (got %v)", want, seen)
+		}
 	}
 }
 

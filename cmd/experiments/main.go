@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,29 +21,36 @@ import (
 	"repro/internal/experiments"
 )
 
+var (
+	runList = flag.String("run", "all", "comma-separated: table1, table2, fig4, fig5a, fig5b, fig6, binding, realtime, cost, adaptive, robustness, multiuse, or all")
+	seed    = flag.Int64("seed", experiments.Seed, "workload seed")
+	timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-
-	var (
-		runList = flag.String("run", "all", "comma-separated: table1, table2, fig4, fig5a, fig5b, fig6, binding, realtime, cost, adaptive, robustness, multiuse, or all")
-		seed    = flag.Int64("seed", experiments.Seed, "workload seed")
-		timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
-	)
 	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() (err error) {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
 	stopProf, err := cli.StartProfiling()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	ctx, stopObs, err := cli.StartObs(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopObs()) }()
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {
@@ -54,21 +62,21 @@ func main() {
 	if want("table1") {
 		rows, err := experiments.Table1Ctx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.Table1Report(rows))
 	}
 	if want("table2") {
 		rows, err := experiments.Table2Ctx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.Table2Report(rows))
 	}
 	if want("fig4") {
 		rows, err := experiments.Figure4Ctx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		avgPanel, maxPanel := experiments.Figure4Report(rows)
 		fmt.Println(avgPanel)
@@ -77,64 +85,65 @@ func main() {
 	if want("fig5a") {
 		points, err := experiments.Figure5aCtx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.Figure5aReport(points))
 	}
 	if want("fig5b") {
 		points, err := experiments.Figure5bCtx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.Figure5bReport(points))
 	}
 	if want("fig6") {
 		points, err := experiments.Figure6Ctx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.Figure6Report(points))
 	}
 	if want("binding") {
 		rows, err := experiments.BindingCtx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.BindingReport(rows))
 	}
 	if want("realtime") {
 		res, err := experiments.RealtimeCtx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RealtimeReport(res))
 	}
 	if want("cost") {
 		rows, err := experiments.CostCtx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.CostReport(rows))
 	}
 	if want("adaptive") {
 		rows, err := experiments.AdaptiveCtx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.AdaptiveReport(rows))
 	}
 	if want("robustness") {
 		rows, err := experiments.RobustnessCtx(ctx, nil)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.RobustnessReport(rows))
 	}
 	if want("multiuse") {
 		res, err := experiments.MultiUseCtx(ctx, *seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Println(experiments.MultiUseReport(res))
 	}
+	return nil
 }

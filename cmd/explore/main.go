@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,30 +22,37 @@ import (
 	"repro/internal/workloads"
 )
 
+var (
+	appName = flag.String("app", "mat2", "application: mat1, mat2, fft, qsort, des, synth")
+	seed    = flag.Int64("seed", 1, "workload seed")
+	burst   = flag.Int64("burst", 1000, "nominal burst length for -app synth")
+	timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("explore: ")
-
-	var (
-		appName = flag.String("app", "mat2", "application: mat1, mat2, fft, qsort, des, synth")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		burst   = flag.Int64("burst", 1000, "nominal burst length for -app synth")
-		timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
-	)
 	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() (err error) {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
 	stopProf, err := cli.StartProfiling()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	ctx, stopObs, err := cli.StartObs(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopObs()) }()
 
 	var app *workloads.App
 	switch strings.ToLower(*appName) {
@@ -61,12 +69,12 @@ func main() {
 	case "synth":
 		app = workloads.Synthetic(*seed, *burst)
 	default:
-		log.Fatalf("unknown -app %q", *appName)
+		return fmt.Errorf("unknown -app %q", *appName)
 	}
 
 	points, err := explore.SweepCtx(ctx, app, explore.DefaultGrid(app.WindowSize))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	title := fmt.Sprintf("Design space of %s (%d cores; * = Pareto-optimal in buses × avg latency)",
 		app.Name, app.NumCores())
@@ -78,4 +86,5 @@ func main() {
 		fmt.Printf("  %2d buses, avg %.2f cy  (window %d, threshold %.0f%%, maxtb %d)\n",
 			p.Buses, p.AvgLat, p.Window, p.Threshold*100, p.MaxPerBus)
 	}
+	return nil
 }

@@ -21,6 +21,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"log"
 	"os"
@@ -41,9 +42,12 @@ type caseResult struct {
 	AllocsPerOp int64  `json:"allocs_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	Nodes       int64  `json:"milp_nodes"`
+	MaxDepth    int64  `json:"max_depth"`
+	Incumbents  int64  `json:"incumbents"`
 	WarmSolves  int64  `json:"warm_solves"`
 	ColdSolves  int64  `json:"cold_solves"`
 	DualPivots  int64  `json:"dual_pivots"`
+	LPIters     int64  `json:"lp_iterations"`
 	Skipped     bool   `json:"skipped,omitempty"`
 	Note        string `json:"note,omitempty"`
 }
@@ -56,24 +60,29 @@ type report struct {
 
 // benchCase runs one solver configuration under testing.Benchmark and
 // folds the per-iteration solver statistics into the result.
-func benchCase(name string, a *trace.Analysis, numBuses int, sym core.SymmetryLevel, optimize bool, opts milp.Options, config string) caseResult {
+func benchCase(ctx context.Context, name string, a *trace.Analysis, numBuses int, sym core.SymmetryLevel, optimize bool, opts milp.Options, config string) caseResult {
 	conflicts := core.BuildConflicts(a, core.DefaultOptions())
 	fr := core.NewFormulator(a, conflicts, 4, sym)
 	f := fr.ForBusCount(numBuses, optimize)
 	opts.FirstFeasible = !optimize
 
-	var nodes, warm, cold, pivots, iters int64
+	var nodes, depth, incumbents, warm, cold, pivots, lpIters, iters int64
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sol, err := milp.SolveCtx(context.Background(), f.Problem, opts)
+			sol, err := milp.SolveCtx(ctx, f.Problem, opts)
 			if err != nil {
 				b.Fatal(err)
 			}
 			nodes += int64(sol.Nodes)
+			if d := int64(sol.MaxDepth); d > depth {
+				depth = d
+			}
+			incumbents += sol.Incumbents
 			warm += sol.WarmSolves
 			cold += sol.ColdSolves
 			pivots += sol.DualPivots
+			lpIters += sol.LPIterations
 			iters++
 		}
 	})
@@ -87,31 +96,44 @@ func benchCase(name string, a *trace.Analysis, numBuses int, sym core.SymmetryLe
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Nodes:       nodes / iters,
+		MaxDepth:    depth,
+		Incumbents:  incumbents / iters,
 		WarmSolves:  warm / iters,
 		ColdSolves:  cold / iters,
 		DualPivots:  pivots / iters,
+		LPIters:     lpIters / iters,
 	}
 }
+
+var (
+	out   = flag.String("out", "BENCH_solver.json", "output JSON path")
+	quick = flag.Bool("quick", false, "skip the multi-second 32-receiver feasible case")
+)
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("solverbench: ")
-
-	var (
-		out   = flag.String("out", "BENCH_solver.json", "output JSON path")
-		quick = flag.Bool("quick", false, "skip the multi-second 32-receiver feasible case")
-	)
 	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() (err error) {
+	ctx, stop := cli.Context(0)
+	defer stop()
 
 	stopProf, err := cli.StartProfiling()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	ctx, stopObs, err := cli.StartObs(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopObs()) }()
 
 	a12 := benchprobs.Analysis12()
 	a32 := benchprobs.Analysis32()
@@ -130,11 +152,12 @@ func main() {
 			log.Printf("%-28s %-14s skipped: %s", c.Name, c.Config, c.Note)
 			return
 		}
-		log.Printf("%-28s %-14s %12d ns/op %8d nodes %6d warm %6d cold", c.Name, c.Config, c.NsPerOp, c.Nodes, c.WarmSolves, c.ColdSolves)
+		log.Printf("%-28s %-14s %12d ns/op %8d nodes %3d deep %4d inc %6d warm %6d cold %8d lp-iters",
+			c.Name, c.Config, c.NsPerOp, c.Nodes, c.MaxDepth, c.Incumbents, c.WarmSolves, c.ColdSolves, c.LPIters)
 	}
 
-	add(benchCase("feasible-12rx-4bus", a12, 4, core.SymWeak, false, legacy, "legacy"))
-	add(benchCase("feasible-12rx-4bus", a12, 4, core.SymFull, false, warm, "warm"))
+	add(benchCase(ctx, "feasible-12rx-4bus", a12, 4, core.SymWeak, false, legacy, "legacy"))
+	add(benchCase(ctx, "feasible-12rx-4bus", a12, 4, core.SymFull, false, warm, "warm"))
 	add(caseResult{
 		Name: "feasible-32rx-12bus", Config: "legacy", Skipped: true,
 		Note: "the cold per-node solver does not finish the root LP relaxation of this instance (observed >50 min without completing); the warm entry below is the replacement this tool exists to measure",
@@ -142,19 +165,20 @@ func main() {
 	if *quick {
 		add(caseResult{Name: "feasible-32rx-12bus", Config: "warm", Skipped: true, Note: "-quick"})
 	} else {
-		add(benchCase("feasible-32rx-12bus", a32, 12, core.SymFull, false, warm, "warm"))
+		add(benchCase(ctx, "feasible-32rx-12bus", a32, 12, core.SymFull, false, warm, "warm"))
 	}
-	add(benchCase("infeasible-32rx-8bus-root", a32, 8, core.SymFull, false, warm, "warm"))
-	add(benchCase("binding-8rx-3bus", a8, 3, core.SymWeak, true, legacy, "legacy"))
-	add(benchCase("binding-8rx-3bus", a8, 3, core.SymFull, true, warm, "warm"))
+	add(benchCase(ctx, "infeasible-32rx-8bus-root", a32, 8, core.SymFull, false, warm, "warm"))
+	add(benchCase(ctx, "binding-8rx-3bus", a8, 3, core.SymWeak, true, legacy, "legacy"))
+	add(benchCase(ctx, "binding-8rx-3bus", a8, 3, core.SymFull, true, warm, "warm"))
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	log.Printf("wrote %s", *out)
+	return nil
 }

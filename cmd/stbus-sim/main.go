@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	stbus-sim -app mat2 -arch full -trace-out mat2
+//	stbus-sim -app mat2 -arch full -dump-traces mat2
 //	stbus-sim -app synth -burst 2000 -arch shared
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,51 +24,58 @@ import (
 	"repro/internal/workloads"
 )
 
+var (
+	appName    = flag.String("app", "mat2", "application: mat1, mat2, fft, qsort, des, synth")
+	specPath   = flag.String("spec", "", "JSON workload spec file (overrides -app)")
+	arch       = flag.String("arch", "full", "interconnect: full or shared")
+	seed       = flag.Int64("seed", 1, "workload seed")
+	burst      = flag.Int64("burst", 1000, "nominal burst length for -app synth (cycles)")
+	dumpTraces = flag.String("dump-traces", "", "prefix for binary trace dumps (<prefix>.req.trc, <prefix>.resp.trc)")
+	asJSON     = flag.Bool("json-traces", false, "dump traces as JSON instead of binary")
+	vcdOut     = flag.String("vcd", "", "write a VCD waveform of the bus activity to this file")
+	timeout    = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit); Ctrl-C also cancels")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("stbus-sim: ")
-
-	var (
-		appName  = flag.String("app", "mat2", "application: mat1, mat2, fft, qsort, des, synth")
-		specPath = flag.String("spec", "", "JSON workload spec file (overrides -app)")
-		arch     = flag.String("arch", "full", "interconnect: full or shared")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		burst    = flag.Int64("burst", 1000, "nominal burst length for -app synth (cycles)")
-		traceOut = flag.String("trace-out", "", "prefix for binary trace dumps (<prefix>.req.trc, <prefix>.resp.trc)")
-		asJSON   = flag.Bool("json-traces", false, "dump traces as JSON instead of binary")
-		vcdOut   = flag.String("vcd", "", "write a VCD waveform of the bus activity to this file")
-		timeout  = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit); Ctrl-C also cancels")
-	)
 	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() (err error) {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
 	stopProf, err := cli.StartProfiling()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	ctx, stopObs, err := cli.StartObs(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopObs()) }()
 
 	var app *workloads.App
 	if *specPath != "" {
 		spec, err := readSpecFile(*specPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		app, err = spec.Build(*seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else {
 		var err error
 		app, err = lookupApp(*appName, *seed, *burst)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
@@ -78,12 +86,12 @@ func main() {
 	case "shared":
 		req, resp = app.SharedConfig()
 	default:
-		log.Fatalf("unknown -arch %q (want full or shared)", *arch)
+		return fmt.Errorf("unknown -arch %q (want full or shared)", *arch)
 	}
 
 	res, err := sim.RunCtx(ctx, app.SimConfig(req, resp))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	s := res.Latency.SummarizePacket()
@@ -96,30 +104,31 @@ func main() {
 	fmt.Printf("  request-bus utilization:  %s\n", fmtUtil(res.ReqUtil))
 	fmt.Printf("  response-bus utilization: %s\n", fmtUtil(res.RespUtil))
 
-	if *traceOut != "" {
-		if err := dumpTrace(*traceOut+".req.trc", res.ReqTrace, *asJSON); err != nil {
-			log.Fatal(err)
+	if *dumpTraces != "" {
+		if err := dumpTrace(*dumpTraces+".req.trc", res.ReqTrace, *asJSON); err != nil {
+			return err
 		}
-		if err := dumpTrace(*traceOut+".resp.trc", res.RespTrace, *asJSON); err != nil {
-			log.Fatal(err)
+		if err := dumpTrace(*dumpTraces+".resp.trc", res.RespTrace, *asJSON); err != nil {
+			return err
 		}
-		fmt.Printf("  traces written to %s.req.trc and %s.resp.trc\n", *traceOut, *traceOut)
+		fmt.Printf("  traces written to %s.req.trc and %s.resp.trc\n", *dumpTraces, *dumpTraces)
 	}
 
 	if *vcdOut != "" {
 		f, err := os.Create(*vcdOut)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := vcd.FromTraces(f, req, res.ReqTrace, resp, res.RespTrace); err != nil {
 			f.Close()
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("  waveform written to %s\n", *vcdOut)
 	}
+	return nil
 }
 
 // readSpecFile loads a JSON workload spec.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -20,37 +21,44 @@ import (
 	"repro/internal/trace"
 )
 
+var (
+	tracePath = flag.String("trace", "", "trace file (binary or JSON)")
+	window    = flag.Int64("window", 0, "window size for peak-duty analysis (0 = mean burst × 2)")
+	jsonTrace = flag.Bool("json", false, "trace file is JSON")
+	timeout   = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tracestat: ")
-
-	var (
-		tracePath = flag.String("trace", "", "trace file (binary or JSON)")
-		window    = flag.Int64("window", 0, "window size for peak-duty analysis (0 = mean burst × 2)")
-		jsonTrace = flag.Bool("json", false, "trace file is JSON")
-		timeout   = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
-	)
 	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() (err error) {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
 	stopProf, err := cli.StartProfiling()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	ctx, stopObs, err := cli.StartObs(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopObs()) }()
 
 	if *tracePath == "" {
-		log.Fatal("missing -trace")
+		return errors.New("missing -trace")
 	}
 	f, err := os.Open(*tracePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	var tr *trace.Trace
@@ -60,7 +68,7 @@ func main() {
 		tr, err = trace.ReadBinary(f)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	bursts := tr.Bursts()
@@ -79,11 +87,11 @@ func main() {
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	peak, err := tr.PeakWindowDuty(ws)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	duty := tr.DutyCycles()
 	fmt.Printf("\nper-receiver duty (window %d cycles):\n", ws)
@@ -106,7 +114,7 @@ func main() {
 	}
 
 	if err := ctx.Err(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	ov := tr.OverlapFractions()
 	fmt.Println("\nheaviest pairwise overlaps (fraction of the lighter stream):")
@@ -140,4 +148,5 @@ func main() {
 	if len(pairs) == 0 {
 		fmt.Println("  (none)")
 	}
+	return nil
 }

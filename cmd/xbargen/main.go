@@ -1,15 +1,18 @@
 // Command xbargen designs an STbus crossbar from a functional traffic
-// trace (as produced by stbus-sim -trace-out): it runs the window-based
-// analysis, the pre-processing, the feasibility binary search and the
-// optimal binding, then prints the resulting configuration.
+// trace (as produced by stbus-sim -dump-traces): it runs the
+// window-based analysis, the pre-processing, the feasibility binary
+// search and the optimal binding, then prints the resulting
+// configuration.
 //
 // Usage:
 //
 //	xbargen -trace mat2.req.trc -window 800
 //	xbargen -trace mat2.resp.trc -window 800 -threshold 0.4 -maxtb 4 -engine milp
+//	xbargen -trace mat2.req.trc -trace-out design.trace.json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,44 +24,51 @@ import (
 	"repro/internal/trace"
 )
 
+var (
+	tracePath  = flag.String("trace", "", "trace file (binary or JSON)")
+	window     = flag.Int64("window", 0, "analysis window size in cycles (0 = horizon/100)")
+	threshold  = flag.Float64("threshold", 0.30, "overlap threshold as a fraction of the window (negative disables)")
+	maxtb      = flag.Int("maxtb", 4, "maximum receivers per bus (0 = unlimited)")
+	noBind     = flag.Bool("no-binding", false, "skip the optimal-binding phase")
+	noCrit     = flag.Bool("no-critical", false, "do not separate overlapping critical streams")
+	engine     = flag.String("engine", "bb", "solver engine: bb (branch and bound), milp, or anneal")
+	jsonTrace  = flag.Bool("json", false, "trace file is JSON")
+	netlist    = flag.String("netlist", "", "also write a JSON netlist of the designed direction (paired with a full crossbar for the other direction)")
+	structural = flag.Bool("structural", false, "print a structural-HDL rendering of the design")
+	timeout    = flag.Duration("timeout", 0, "abort the design after this duration (0 = no limit); Ctrl-C also cancels")
+)
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("xbargen: ")
-
-	var (
-		tracePath  = flag.String("trace", "", "trace file (binary or JSON)")
-		window     = flag.Int64("window", 0, "analysis window size in cycles (0 = horizon/100)")
-		threshold  = flag.Float64("threshold", 0.30, "overlap threshold as a fraction of the window (negative disables)")
-		maxtb      = flag.Int("maxtb", 4, "maximum receivers per bus (0 = unlimited)")
-		noBind     = flag.Bool("no-binding", false, "skip the optimal-binding phase")
-		noCrit     = flag.Bool("no-critical", false, "do not separate overlapping critical streams")
-		engine     = flag.String("engine", "bb", "solver engine: bb (branch and bound), milp, or anneal")
-		jsonTrace  = flag.Bool("json", false, "trace file is JSON")
-		netlist    = flag.String("netlist", "", "also write a JSON netlist of the designed direction (paired with a full crossbar for the other direction)")
-		structural = flag.Bool("structural", false, "print a structural-HDL rendering of the design")
-		timeout    = flag.Duration("timeout", 0, "abort the design after this duration (0 = no limit); Ctrl-C also cancels")
-	)
 	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run() (err error) {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
 	stopProf, err := cli.StartProfiling()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer func() {
-		if err := stopProf(); err != nil {
-			log.Print(err)
-		}
-	}()
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	ctx, stopObs, err := cli.StartObs(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopObs()) }()
 
 	if *tracePath == "" {
-		log.Fatal("missing -trace")
+		return errors.New("missing -trace")
 	}
 	f, err := os.Open(*tracePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer f.Close()
 	var tr *trace.Trace
@@ -68,7 +78,7 @@ func main() {
 		tr, err = trace.ReadBinary(f)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	ws := *window
@@ -77,7 +87,7 @@ func main() {
 	}
 	a, err := trace.AnalyzeCtx(ctx, tr, ws)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	opts := core.Options{
@@ -94,12 +104,12 @@ func main() {
 	case "anneal":
 		opts.Engine = core.EngineAnneal
 	default:
-		log.Fatalf("unknown -engine %q (want bb, milp or anneal)", *engine)
+		return fmt.Errorf("unknown -engine %q (want bb, milp or anneal)", *engine)
 	}
 
 	d, err := core.DesignCrossbarCtx(ctx, a, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	burst := tr.Bursts()
@@ -124,26 +134,27 @@ func main() {
 		other := stbus.Full(tr.NumReceivers, tr.NumSenders)
 		nl, err := stbus.GenerateNetlist(*tracePath, designed, other)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if *netlist != "" {
 			out, err := os.Create(*netlist)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if err := nl.WriteJSON(out); err != nil {
 				out.Close()
-				log.Fatal(err)
+				return err
 			}
 			if err := out.Close(); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			fmt.Printf("netlist written to %s\n", *netlist)
 		}
 		if *structural {
 			if err := nl.WriteStructural(os.Stdout); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	}
+	return nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stbus"
 	"repro/internal/trace"
@@ -57,6 +58,11 @@ func (d *Designer) options() Options {
 // deadline expiry surfaces promptly as an error wrapping ErrCanceled
 // (design phases) or sim.ErrCanceled (simulation phases).
 func (d *Designer) Design(ctx context.Context, app *App) (*Result, error) {
+	ctx, span := obs.Start(ctx, "designer.design")
+	defer span.End()
+	span.SetStr("app", app.Name)
+	span.SetInt("initiators", int64(app.NumInitiators))
+	span.SetInt("targets", int64(app.NumTargets))
 	run, err := experiments.PrepareCtx(ctx, app)
 	if err != nil {
 		return nil, err
@@ -82,6 +88,10 @@ func (d *Designer) Design(ctx context.Context, app *App) (*Result, error) {
 // DesignTrace designs one direction's crossbar from an existing trace
 // with the given window size (phases 2–3 only).
 func (d *Designer) DesignTrace(ctx context.Context, tr *Trace, windowSize int64) (*Design, error) {
+	ctx, span := obs.Start(ctx, "designer.design_trace")
+	defer span.End()
+	span.SetInt("receivers", int64(tr.NumReceivers))
+	span.SetInt("window_size", windowSize)
 	a, err := trace.AnalyzeCtx(ctx, tr, windowSize)
 	if err != nil {
 		return nil, err

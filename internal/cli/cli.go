@@ -1,18 +1,24 @@
 // Package cli holds the scaffolding shared by the command-line tools:
 // a root context wired to Ctrl-C / SIGTERM and an optional -timeout
 // deadline, so every tool can be interrupted or bounded and still exit
-// through its normal error path.
+// through its normal error path, plus the shared profiling
+// (-cpuprofile, -memprofile) and observability (-trace-out,
+// -metrics-addr, -progress) flags.
 package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
+	"fmt"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"syscall"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Context returns the root context of a tool run. It is canceled on
@@ -41,40 +47,117 @@ var (
 
 // StartProfiling honors the -cpuprofile / -memprofile flags. Call it
 // after flag.Parse; the returned stop function finishes the CPU profile
-// and writes the heap profile, so it must run on the tool's normal exit
-// path (profiles are not written when the tool dies via log.Fatal —
-// that trade keeps the call sites to a single deferred stop).
+// and writes the heap profile, so it must run on every exit path —
+// tools use the run()-returns-error pattern so their deferred stop
+// also fires on errors and Ctrl-C cancellation. Both profile files are
+// created eagerly, so an unwritable path fails the run up front
+// instead of being discovered (or silently dropped) at exit.
 func StartProfiling() (stop func() error, err error) {
-	var cpuFile *os.File
+	var cpuFile, memFile *os.File
 	if *cpuProfilePath != "" {
 		cpuFile, err = os.Create(*cpuProfilePath)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(cpuFile); err != nil {
 			cpuFile.Close()
-			return nil, err
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if *memProfilePath != "" {
+		memFile, err = os.Create(*memProfilePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
 		}
 	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
-				return err
+				return fmt.Errorf("-cpuprofile: %w", err)
 			}
 		}
-		if *memProfilePath != "" {
-			f, err := os.Create(*memProfilePath)
-			if err != nil {
-				return err
-			}
+		if memFile != nil {
 			runtime.GC() // flush recently freed objects out of the heap profile
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				f.Close()
-				return err
+			if err := pprof.WriteHeapProfile(memFile); err != nil {
+				memFile.Close()
+				return fmt.Errorf("-memprofile: %w", err)
 			}
-			return f.Close()
+			if err := memFile.Close(); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
 		}
 		return nil
+	}, nil
+}
+
+// Observability flags shared by every tool, registered at package init
+// like the profiling flags above.
+var (
+	traceOutPath = flag.String("trace-out", "", "write a Chrome trace-event JSON of this run to the given file (open in chrome://tracing or Perfetto)")
+	metricsAddr  = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address: expvar at /debug/vars, JSON snapshot at /progress")
+	progressIntv = flag.Duration("progress", 0, "print a one-line metrics progress report to stderr at this interval (0 disables)")
+)
+
+// StartObs honors the -trace-out, -metrics-addr and -progress flags.
+// Call it after flag.Parse with the tool's root context; run the
+// workload under the returned context (it carries the span tracer when
+// -trace-out is set) and call finish on every exit path — it stops the
+// progress reporter, shuts the metrics endpoint down and writes the
+// Chrome trace, so a canceled run still yields a loadable partial
+// trace. The trace file is created eagerly so an unwritable path fails
+// the run up front.
+func StartObs(ctx context.Context) (_ context.Context, finish func() error, err error) {
+	var (
+		traceFile *os.File
+		tracer    *obs.Tracer
+		stopProg  func()
+		stopHTTP  func() error
+	)
+	if *traceOutPath != "" {
+		traceFile, err = os.Create(*traceOutPath)
+		if err != nil {
+			return ctx, nil, fmt.Errorf("-trace-out: %w", err)
+		}
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if *metricsAddr != "" {
+		bound, stop, err := obs.ServeMetrics(*metricsAddr)
+		if err != nil {
+			if traceFile != nil {
+				traceFile.Close()
+			}
+			return ctx, nil, fmt.Errorf("-metrics-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving expvar on http://%s/debug/vars\n", bound)
+		stopHTTP = stop
+	}
+	if *progressIntv > 0 {
+		stopProg = obs.LogProgress(os.Stderr, *progressIntv)
+	}
+	return ctx, func() error {
+		var errs []error
+		if stopProg != nil {
+			stopProg()
+		}
+		if stopHTTP != nil {
+			if err := stopHTTP(); err != nil {
+				errs = append(errs, fmt.Errorf("-metrics-addr: %w", err))
+			}
+		}
+		if traceFile != nil {
+			if err := tracer.WriteChromeTrace(traceFile); err != nil {
+				traceFile.Close()
+				errs = append(errs, fmt.Errorf("-trace-out: %w", err))
+			} else if err := traceFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("-trace-out: %w", err))
+			}
+		}
+		return errors.Join(errs...)
 	}, nil
 }

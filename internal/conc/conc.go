@@ -17,6 +17,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Worker-pool instruments (see internal/obs): conc.active is the
+// number of currently running tasks/workers across every Group and
+// ForEach in the process, conc.queued the tasks blocked on a Group's
+// concurrency limit, conc.tasks / conc.items the totals. Updates are
+// per-task (not per-inner-iteration) atomic adds, so the pool's
+// utilization is observable live at negligible cost.
+var (
+	metActive = obs.NewGauge("conc.active")
+	metQueued = obs.NewGauge("conc.queued")
+	metTasks  = obs.NewCounter("conc.tasks")
+	metItems  = obs.NewCounter("conc.items")
 )
 
 // Workers resolves a worker-count knob: n itself when positive,
@@ -59,12 +74,17 @@ func (g *Group) SetLimit(n int) {
 // Go runs fn on a new goroutine, blocking first if the group is at its
 // concurrency limit.
 func (g *Group) Go(fn func() error) {
+	metTasks.Inc()
 	if g.sem != nil {
+		metQueued.Add(1)
 		g.sem <- struct{}{}
+		metQueued.Add(-1)
 	}
 	g.wg.Add(1)
 	go func() {
+		metActive.Add(1)
 		defer func() {
+			metActive.Add(-1)
 			if g.sem != nil {
 				<-g.sem
 			}
@@ -113,6 +133,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			metItems.Inc()
 			if err := fn(ctx, i); err != nil {
 				return err
 			}
@@ -128,6 +149,8 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
+			metActive.Add(1)
+			defer metActive.Add(-1)
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -138,6 +161,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i
 					errs[i] = err
 					return
 				}
+				metItems.Inc()
 				if err := fn(ctx, i); err != nil {
 					errs[i] = err
 					cancel(err)

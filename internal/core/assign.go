@@ -156,6 +156,7 @@ type searchState struct {
 	suffix   [][]int64 // suffix[idx][w]: demand of targets order[idx:]
 	used     int       // buses opened so far
 	nodes    int64
+	flushed  int64 // nodes already published to the core.solver_nodes metric
 	best     int64 // incumbent objective (binding mode)
 	bestBus  []int
 	optimize bool
@@ -218,6 +219,7 @@ func (p *assignProblem) solve(ctx context.Context, nB int, optimize bool) (*assi
 	}
 
 	found := st.dfs(0, 0)
+	metNodes.Add(st.nodes - st.flushed)
 	res := &assignResult{nodes: st.nodes}
 	if st.stopErr != nil {
 		return nil, st.stopErr
@@ -256,6 +258,8 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 		return false
 	}
 	if st.nodes&cancelCheckMask == 0 {
+		metNodes.Add(st.nodes - st.flushed)
+		st.flushed = st.nodes
 		if err := st.ctx.Err(); err != nil {
 			st.stopErr = canceledErr(st.ctx)
 			st.capped = true // unwind through the capped fast path

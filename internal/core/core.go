@@ -29,7 +29,19 @@ import (
 
 	"repro/internal/conc"
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// Methodology instruments (see internal/obs): designs run,
+// feasibility/binding probes dispatched (including speculative ones
+// later obsoleted), and branch-and-bound nodes expanded by the
+// specialized assignment solver. MILP-engine probes account their
+// nodes under the milp.* metrics instead.
+var (
+	metDesigns = obs.NewCounter("core.designs")
+	metProbes  = obs.NewCounter("core.probes")
+	metNodes   = obs.NewCounter("core.solver_nodes")
 )
 
 // Engine selects the solver used for feasibility and binding.
@@ -183,6 +195,12 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		maxPerBus = nT
 	}
 
+	ctx, designSpan := obs.Start(ctx, "core.design")
+	defer designSpan.End()
+	designSpan.SetInt("receivers", int64(nT))
+	designSpan.SetStr("engine", opts.Engine.String())
+	metDesigns.Inc()
+
 	conflicts := BuildConflicts(a, opts)
 	nConf := 0
 	for i := 0; i < nT; i++ {
@@ -219,7 +237,7 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		formulator = NewFormulator(a, conflicts, maxPerBus, sym)
 	}
 
-	solve := func(ctx context.Context, k int, optimize bool) (*assignResult, error) {
+	rawSolve := func(ctx context.Context, k int, optimize bool) (*assignResult, error) {
 		switch {
 		case opts.Engine == EngineMILP:
 			return solveFormulated(ctx, formulator, k, optimize, milp.Options{Cold: opts.MILPLegacy})
@@ -234,13 +252,34 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 			return prob.solve(ctx, k, optimize)
 		}
 	}
+	// Every probe — serial, speculative, or the final binding solve —
+	// goes through this wrapper, so each one shows up as its own span
+	// (child of core.search or core.bind) in the trace.
+	solve := func(ctx context.Context, k int, optimize bool) (*assignResult, error) {
+		ctx, sp := obs.Start(ctx, "core.probe")
+		defer sp.End()
+		sp.SetInt("buses", int64(k))
+		sp.SetBool("optimize", optimize)
+		metProbes.Inc()
+		res, err := rawSolve(ctx, k, optimize)
+		if err == nil && res != nil {
+			sp.SetBool("feasible", res.feasible)
+			sp.SetInt("nodes", res.nodes)
+		}
+		return res, err
+	}
 
 	// Phase 1: find the minimum feasible bus count. Feasibility is
 	// monotone in the bus count (extra buses can stay unused), so an
 	// interval-narrowing search is exact (paper Section 6); with
 	// Workers > 1 several candidate counts are probed speculatively in
 	// parallel, canceling probes a sibling result makes redundant.
-	best, firstFeasible, nodes, err := searchMinFeasible(ctx, lb, ub, conc.Workers(opts.Workers), solve)
+	sctx, searchSpan := obs.Start(ctx, "core.search")
+	searchSpan.SetInt("lb", int64(lb))
+	searchSpan.SetInt("ub", int64(ub))
+	best, firstFeasible, nodes, err := searchMinFeasible(sctx, lb, ub, conc.Workers(opts.Workers), solve)
+	searchSpan.SetInt("best", int64(best))
+	searchSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +290,9 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	result := firstFeasible
 	// Phase 2: optimal binding on the chosen configuration.
 	if opts.OptimizeBinding {
-		res, err := solve(ctx, best, true)
+		bctx, bindSpan := obs.Start(ctx, "core.bind")
+		res, err := solve(bctx, best, true)
+		bindSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -261,6 +302,8 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		}
 	}
 
+	designSpan.SetInt("buses", int64(best))
+	designSpan.SetInt("nodes", nodes)
 	return &Design{
 		NumBuses:      best,
 		BusOf:         result.busOf,

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/conc"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stbus"
 	"repro/internal/trace"
@@ -48,6 +49,9 @@ func Prepare(app *workloads.App) (*AppRun, error) {
 // run concurrently; each is internally deterministic, so the result is
 // identical to the serial path.
 func PrepareCtx(ctx context.Context, app *workloads.App) (*AppRun, error) {
+	ctx, span := obs.Start(ctx, "pipeline.prepare")
+	defer span.End()
+	span.SetStr("app", app.Name)
 	req, resp := app.FullConfig()
 	full, err := sim.RunCtx(ctx, app.SimConfig(req, resp))
 	if err != nil {
@@ -56,6 +60,8 @@ func PrepareCtx(ctx context.Context, app *workloads.App) (*AppRun, error) {
 	var aReq, aResp *trace.Analysis
 	g, gctx := conc.WithContext(ctx)
 	g.Go(func() error {
+		gctx, sp := obs.Start(gctx, "analyze.req")
+		defer sp.End()
 		var err error
 		aReq, err = trace.AnalyzeCtx(gctx, full.ReqTrace, app.WindowSize)
 		if err != nil {
@@ -64,6 +70,8 @@ func PrepareCtx(ctx context.Context, app *workloads.App) (*AppRun, error) {
 		return nil
 	})
 	g.Go(func() error {
+		gctx, sp := obs.Start(gctx, "analyze.resp")
+		defer sp.End()
 		var err error
 		aResp, err = trace.AnalyzeCtx(gctx, full.RespTrace, app.WindowSize)
 		if err != nil {
@@ -95,9 +103,14 @@ func (r *AppRun) Design(opts core.Options) (*DesignPair, error) {
 // independent and run concurrently; each design is deterministic, so
 // the pair matches the serial path bit for bit.
 func (r *AppRun) DesignCtx(ctx context.Context, opts core.Options) (*DesignPair, error) {
+	ctx, span := obs.Start(ctx, "pipeline.design")
+	defer span.End()
+	span.SetStr("app", r.App.Name)
 	var dReq, dResp *core.Design
 	g, gctx := conc.WithContext(ctx)
 	g.Go(func() error {
+		gctx, sp := obs.Start(gctx, "design.req")
+		defer sp.End()
 		var err error
 		dReq, err = core.DesignCrossbarCtx(gctx, r.AReq, opts)
 		if err != nil {
@@ -106,6 +119,8 @@ func (r *AppRun) DesignCtx(ctx context.Context, opts core.Options) (*DesignPair,
 		return nil
 	})
 	g.Go(func() error {
+		gctx, sp := obs.Start(gctx, "design.resp")
+		defer sp.End()
 		var err error
 		dResp, err = core.DesignCrossbarCtx(gctx, r.AResp, opts)
 		if err != nil {
@@ -127,6 +142,9 @@ func (r *AppRun) Validate(pair *DesignPair) (*sim.Result, error) {
 
 // ValidateCtx is Validate with cancellation.
 func (r *AppRun) ValidateCtx(ctx context.Context, pair *DesignPair) (*sim.Result, error) {
+	ctx, span := obs.Start(ctx, "pipeline.validate")
+	defer span.End()
+	span.SetStr("app", r.App.Name)
 	req := stbus.Partial(r.App.NumInitiators, pair.Req.BusOf)
 	resp := stbus.Partial(r.App.NumTargets, pair.Resp.BusOf)
 	res, err := sim.RunCtx(ctx, r.App.SimConfig(req, resp))

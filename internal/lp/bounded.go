@@ -50,7 +50,7 @@ func SolveBounded(p *Problem, upper []float64) (*Solution, error) {
 			return nil, err
 		}
 		if t.phase1Value() > 1e-7 {
-			return &Solution{Status: Infeasible}, nil
+			return &Solution{Status: Infeasible, Iterations: t.pivots}, nil
 		}
 		t.pinArtificials()
 	}
@@ -60,7 +60,7 @@ func SolveBounded(p *Problem, upper []float64) (*Solution, error) {
 	}
 	if err := t.run(costs); err != nil {
 		if errors.Is(err, errUnbounded) {
-			return &Solution{Status: Unbounded}, nil
+			return &Solution{Status: Unbounded, Iterations: t.pivots}, nil
 		}
 		return nil, err
 	}
@@ -71,7 +71,7 @@ func SolveBounded(p *Problem, upper []float64) (*Solution, error) {
 	for j := 0; j < p.NumVars && p.Objective != nil; j++ {
 		obj += p.Objective[j] * x[j]
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj}, nil
+	return &Solution{Status: Optimal, X: x, Objective: obj, Iterations: t.pivots}, nil
 }
 
 // boundedTableau is the bounded-variable simplex working state.
@@ -103,6 +103,7 @@ type boundedTableau struct {
 	upper   []float64
 	noEnter []bool    // columns barred from entering the basis
 	fixVal  []float64 // NaN = free; otherwise the pinned value
+	pivots  int64     // basis changes performed over the tableau's lifetime
 }
 
 // isFixed reports whether column j is pinned to an exact value.
@@ -449,6 +450,7 @@ func (t *boundedTableau) run(costs []float64) error {
 
 // pivot makes column e basic in row l with value val.
 func (t *boundedTableau) pivot(l, e int, val float64) {
+	t.pivots++
 	leavingCol := t.basis[l]
 	row := t.rows[l]
 	inv := 1.0 / row[e]

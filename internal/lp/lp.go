@@ -97,6 +97,10 @@ type Solution struct {
 	Status    Status
 	X         []float64 // variable values when Status == Optimal
 	Objective float64   // c·x when Status == Optimal
+	// Iterations counts the simplex basis changes (primal and dual
+	// pivots) spent producing this solution — the per-solve work metric
+	// the MILP layer aggregates into its LPIterations statistic.
+	Iterations int64
 }
 
 const eps = 1e-9

@@ -227,17 +227,27 @@ func (s *NodeSolver) Solve(fixes []Fix) (*Solution, error) {
 			return nil, fmt.Errorf("lp: fix pins variable %d to %v outside [0,%v]", fx.Var, fx.Val, s.upper[fx.Var])
 		}
 	}
+	before := s.t.pivots
 	if s.ready && s.sinceRe < resyncEvery {
 		if sol, ok := s.solveWarm(fixes); ok {
 			s.warm++
 			s.sinceRe++
+			sol.Iterations = s.t.pivots - before
 			return sol, nil
 		}
 	}
 	s.cold++
 	s.sinceRe = 0
-	return s.solveCold(fixes)
+	sol, err := s.solveCold(fixes)
+	if sol != nil {
+		sol.Iterations = s.t.pivots - before
+	}
+	return sol, err
 }
+
+// Pivots reports the total simplex basis changes (primal and dual)
+// performed over the solver's lifetime.
+func (s *NodeSolver) Pivots() int64 { return s.t.pivots }
 
 // --- warm path ---
 

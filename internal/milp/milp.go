@@ -24,7 +24,28 @@ import (
 	"sort"
 
 	"repro/internal/lp"
+	"repro/internal/obs"
 )
+
+// Live solver metrics (see internal/obs). Per-node updates are plain
+// atomic adds — three orders of magnitude cheaper than the node's LP
+// solve — so they stay on unconditionally and the -metrics-addr /
+// -progress instruments see node throughput while a solve runs.
+var (
+	metSolves     = obs.NewCounter("milp.solves")
+	metNodes      = obs.NewCounter("milp.nodes")
+	metWarm       = obs.NewCounter("milp.warm_solves")
+	metCold       = obs.NewCounter("milp.cold_solves")
+	metDualPivots = obs.NewCounter("milp.dual_pivots")
+	metLPIters    = obs.NewCounter("milp.lp_iterations")
+	metIncumbents = obs.NewCounter("milp.incumbents")
+)
+
+// nodeSpanMask samples per-node tracing: with a Tracer attached, one
+// node in (nodeSpanMask+1) records a span, so a 10k-node solve emits
+// ~160 node spans instead of 10k (which would dominate the trace and
+// its own cost).
+const nodeSpanMask = 63
 
 // Problem is an LP plus binary integrality requirements.
 type Problem struct {
@@ -61,12 +82,23 @@ type Solution struct {
 	Nodes     int // nodes explored
 	// WarmSolves / ColdSolves count how many node relaxations were
 	// solved by dual-simplex warm restart vs. a full two-phase solve.
-	// Always zero on the legacy (Options.Cold) path.
+	// The legacy (Options.Cold) path reports every node as cold.
 	WarmSolves int64
 	ColdSolves int64
 	// DualPivots counts the dual-simplex pivots spent across all warm
 	// solves.
 	DualPivots int64
+	// MaxDepth is the deepest branch explored, measured in fixed
+	// variables (the root relaxation has depth 0).
+	MaxDepth int
+	// Incumbents counts how many times the search improved its best
+	// integral solution (FirstFeasible solves stop at 1).
+	Incumbents int64
+	// LPIterations totals the simplex basis changes (primal and dual
+	// pivots) across every node relaxation solve — the per-node work
+	// metric warm starts exist to shrink. Zero on the legacy
+	// (Options.Cold) path before any node completes.
+	LPIterations int64
 }
 
 // ErrNodeLimit is returned when the node budget is exhausted before
@@ -98,6 +130,7 @@ func SolveCtx(ctx context.Context, p *Problem, opts Options) (*Solution, error) 
 	if maxNodes == 0 {
 		maxNodes = 200000
 	}
+	metSolves.Inc()
 	if opts.Cold {
 		return solveLegacy(ctx, p, opts, maxNodes)
 	}
@@ -111,6 +144,7 @@ type chainFix struct {
 	parent *chainFix
 	v      int
 	val    float64
+	depth  int // chain length; the root chain (nil) has depth 0
 }
 
 // appendTo collects the chain into buf (deepest fix last is fine — the
@@ -140,6 +174,11 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 		return nil, err
 	}
 
+	ctx, solveSpan := obs.Start(ctx, "milp.solve")
+	solveSpan.SetInt("vars", int64(n))
+	solveSpan.SetBool("first_feasible", opts.FirstFeasible)
+	tracer := obs.TracerFrom(ctx)
+
 	type node struct {
 		fixes *chainFix
 		bound float64 // parent's LP relaxation objective
@@ -149,11 +188,42 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 
 	var best *Solution
 	nodes := 0
+	maxDepth := 0
+	var incumbents int64
+	var lpIters int64
+	var lastWarm, lastCold, lastDual int64
 	finish := func(s *Solution) *Solution {
 		s.Nodes = nodes
 		s.WarmSolves, s.ColdSolves = ns.Stats()
 		s.DualPivots = ns.DualPivots()
+		s.MaxDepth = maxDepth
+		s.Incumbents = incumbents
+		s.LPIterations = lpIters
+		solveSpan.SetInt("nodes", int64(nodes))
+		solveSpan.SetInt("warm", s.WarmSolves)
+		solveSpan.SetInt("cold", s.ColdSolves)
+		solveSpan.SetInt("max_depth", int64(maxDepth))
+		solveSpan.SetStr("status", s.Status.String())
+		solveSpan.End()
 		return s
+	}
+	defer func() {
+		// Stream warm/cold/dual-pivot deltas not yet flushed (error
+		// paths included) so the live rates stay truthful, and close
+		// the span if an error path skipped finish.
+		w, c := ns.Stats()
+		metWarm.Add(w - lastWarm)
+		metCold.Add(c - lastCold)
+		metDualPivots.Add(ns.DualPivots() - lastDual)
+		solveSpan.End()
+	}()
+	flushSolves := func() {
+		w, c := ns.Stats()
+		d := ns.DualPivots()
+		metWarm.Add(w - lastWarm)
+		metCold.Add(c - lastCold)
+		metDualPivots.Add(d - lastDual)
+		lastWarm, lastCold, lastDual = w, c, d
 	}
 	for len(open) > 0 {
 		var cur node
@@ -179,6 +249,14 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 			continue
 		}
 		nodes++
+		depth := 0
+		if cur.fixes != nil {
+			depth = cur.fixes.depth
+		}
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+		metNodes.Inc()
 		if nodes > maxNodes {
 			return nil, ErrNodeLimit
 		}
@@ -186,10 +264,25 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 			return nil, fmt.Errorf("%w after %d nodes: %w", ErrCanceled, nodes, err)
 		}
 
+		var nodeSpan *obs.Span
+		if tracer != nil && nodes&nodeSpanMask == 1 {
+			nodeSpan = obs.StartDetached(tracer, solveSpan, "milp.node")
+			nodeSpan.SetInt("node", int64(nodes))
+			nodeSpan.SetInt("depth", int64(depth))
+		}
 		sol, err := ns.Solve(cur.fixes.appendTo(fixBuf[:0]))
+		if nodeSpan != nil {
+			if err == nil {
+				nodeSpan.SetStr("status", sol.Status.String())
+			}
+			nodeSpan.End()
+		}
 		if err != nil {
 			return nil, err
 		}
+		lpIters += sol.Iterations
+		metLPIters.Add(sol.Iterations)
+		flushSolves()
 		switch sol.Status {
 		case lp.Infeasible:
 			continue
@@ -207,6 +300,8 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 				cand := &Solution{Status: lp.Optimal, X: rounded, Objective: sol.Objective}
 				if best == nil || cand.Objective < best.Objective {
 					best = cand
+					incumbents++
+					metIncumbents.Inc()
 				}
 				if opts.FirstFeasible {
 					return finish(best), nil
@@ -229,12 +324,12 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 		// there push near first.
 		if opts.FirstFeasible {
 			open = append(open,
-				node{fixes: &chainFix{cur.fixes, branchVar, 1 - near}, bound: sol.Objective},
-				node{fixes: &chainFix{cur.fixes, branchVar, near}, bound: sol.Objective})
+				node{fixes: &chainFix{cur.fixes, branchVar, 1 - near, depth + 1}, bound: sol.Objective},
+				node{fixes: &chainFix{cur.fixes, branchVar, near, depth + 1}, bound: sol.Objective})
 		} else {
 			open = append(open,
-				node{fixes: &chainFix{cur.fixes, branchVar, near}, bound: sol.Objective},
-				node{fixes: &chainFix{cur.fixes, branchVar, 1 - near}, bound: sol.Objective})
+				node{fixes: &chainFix{cur.fixes, branchVar, near, depth + 1}, bound: sol.Objective},
+				node{fixes: &chainFix{cur.fixes, branchVar, 1 - near, depth + 1}, bound: sol.Objective})
 		}
 	}
 	if best == nil {
@@ -262,8 +357,27 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 	}
 	open := []node{{fixed: map[int]float64{}, bound: math.Inf(-1)}}
 
+	ctx, solveSpan := obs.Start(ctx, "milp.solve")
+	solveSpan.SetInt("vars", int64(n))
+	solveSpan.SetBool("first_feasible", opts.FirstFeasible)
+	solveSpan.SetStr("config", "legacy")
+	defer solveSpan.End()
+
 	var best *Solution
 	nodes := 0
+	maxDepth := 0
+	var incumbents, lpIters int64
+	finish := func(s *Solution) *Solution {
+		s.Nodes = nodes
+		s.ColdSolves = int64(nodes)
+		s.MaxDepth = maxDepth
+		s.Incumbents = incumbents
+		s.LPIterations = lpIters
+		solveSpan.SetInt("nodes", int64(nodes))
+		solveSpan.SetInt("max_depth", int64(maxDepth))
+		solveSpan.SetStr("status", s.Status.String())
+		return s
+	}
 	for len(open) > 0 {
 		// Pop the node with the most promising bound (best-first).
 		bestIdx := 0
@@ -279,6 +393,11 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 			continue
 		}
 		nodes++
+		if d := len(cur.fixed); d > maxDepth {
+			maxDepth = d
+		}
+		metNodes.Inc()
+		metCold.Inc()
 		if nodes > maxNodes {
 			return nil, ErrNodeLimit
 		}
@@ -290,11 +409,13 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 		if err != nil {
 			return nil, err
 		}
+		lpIters += sol.Iterations
+		metLPIters.Add(sol.Iterations)
 		switch sol.Status {
 		case lp.Infeasible:
 			continue
 		case lp.Unbounded:
-			return &Solution{Status: lp.Unbounded, Nodes: nodes}, nil
+			return finish(&Solution{Status: lp.Unbounded}), nil
 		}
 		if best != nil && sol.Objective >= best.Objective-1e-9 {
 			continue
@@ -304,13 +425,14 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 		if branchVar == -1 {
 			rounded, ok, bv := roundBinaries(p, sol.X)
 			if ok {
-				cand := &Solution{Status: lp.Optimal, X: rounded, Objective: sol.Objective, Nodes: nodes}
+				cand := &Solution{Status: lp.Optimal, X: rounded, Objective: sol.Objective}
 				if best == nil || cand.Objective < best.Objective {
 					best = cand
+					incumbents++
+					metIncumbents.Inc()
 				}
 				if opts.FirstFeasible {
-					best.Nodes = nodes
-					return best, nil
+					return finish(best), nil
 				}
 				continue
 			}
@@ -330,10 +452,9 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 		}
 	}
 	if best == nil {
-		return &Solution{Status: lp.Infeasible, Nodes: nodes}, nil
+		return finish(&Solution{Status: lp.Infeasible}), nil
 	}
-	best.Nodes = nodes
-	return best, nil
+	return finish(best), nil
 }
 
 // mostFractional returns the binary variable farthest from integrality

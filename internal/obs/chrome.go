@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event JSON array. Only
+// the "X" (complete) and "M" (metadata) phases are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every finished span as Chrome trace-event
+// JSON (the format chrome://tracing and Perfetto load). Spans are laid
+// out on "threads" (tid lanes) such that each lane holds a laminar
+// family — a child always sits on its parent's lane and overlapping
+// siblings get distinct lanes — so the viewers render call-stack
+// nesting correctly even for the engine's parallel phases.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	// Start-order (ties: longer first, then id) is the order lane
+	// assignment must see spans in: a parent starts no later than its
+	// children and outlives them, so it is placed first.
+	sort.Slice(spans, func(a, b int) bool {
+		if spans[a].Start != spans[b].Start {
+			return spans[a].Start < spans[b].Start
+		}
+		if spans[a].Dur != spans[b].Dur {
+			return spans[a].Dur > spans[b].Dur
+		}
+		return spans[a].ID < spans[b].ID
+	})
+
+	lanes := assignLanes(spans)
+
+	events := make([]chromeEvent, 0, len(spans)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "stbusgen"},
+	})
+	for i, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  lanes[i],
+		}
+		if len(s.Attrs) > 0 {
+			args := make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value()
+			}
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}); err != nil {
+		return fmt.Errorf("obs: writing chrome trace: %w", err)
+	}
+	return nil
+}
+
+// assignLanes maps each span (in start order) to a tid lane so that
+// every lane is a properly nested (laminar) interval family: a span
+// goes on its parent's lane when the parent is the innermost interval
+// still open there, otherwise on the first idle lane. Chrome's trace
+// viewer stacks time-nested "X" events of one tid, so this renders
+// parent/child structure without ever overlapping siblings.
+func assignLanes(spans []SpanRecord) []int {
+	type active struct {
+		id  int64
+		end int64 // ns offset
+	}
+	laneOf := make([]int, len(spans))
+	var stacks [][]active // per-lane stack of open spans
+	for i, s := range spans {
+		startNS := s.Start.Nanoseconds()
+		endNS := startNS + s.Dur.Nanoseconds()
+		// Retire spans that ended at or before this start.
+		for l := range stacks {
+			st := stacks[l]
+			for len(st) > 0 && st[len(st)-1].end <= startNS {
+				st = st[:len(st)-1]
+			}
+			stacks[l] = st
+		}
+		lane := -1
+		if s.Parent != 0 {
+			for l, st := range stacks {
+				if len(st) > 0 && st[len(st)-1].id == s.Parent {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane == -1 {
+			for l, st := range stacks {
+				if len(st) == 0 {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane == -1 {
+			lane = len(stacks)
+			stacks = append(stacks, nil)
+		}
+		stacks[lane] = append(stacks[lane], active{id: s.ID, end: endNS})
+		laneOf[i] = lane
+	}
+	return laneOf
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestChromeTraceGolden locks the exported JSON down byte for byte.
+// The fake clock makes the timestamps deterministic, and
+// encoding/json sorts map keys, so any diff here is a real format
+// change — chrome://tracing and Perfetto both parse this shape.
+func TestChromeTraceGolden(t *testing.T) {
+	tr, advance := fakeTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	ctx, root := Start(ctx, "designer.design")
+	root.SetStr("app", "mat2")
+	advance(2 * time.Millisecond)
+	_, child := Start(ctx, "sim.run")
+	child.SetInt("horizon", 1000)
+	advance(3 * time.Millisecond)
+	child.End()
+	advance(1 * time.Millisecond)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"stbusgen"}},` +
+		`{"name":"designer.design","ph":"X","ts":0,"dur":6000,"pid":1,"tid":0,"args":{"app":"mat2"}},` +
+		`{"name":"sim.run","ph":"X","ts":2000,"dur":3000,"pid":1,"tid":0,"args":{"horizon":1000}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != golden {
+		t.Errorf("chrome trace mismatch:\ngot:  %s\nwant: %s", got, golden)
+	}
+}
+
+// TestChromeTraceLanes checks the lane (tid) assignment invariants on
+// a parallel shape: two overlapping siblings must land on different
+// lanes, and a child must share its parent's lane so the viewer nests
+// them.
+func TestChromeTraceLanes(t *testing.T) {
+	tr, advance := fakeTracer()
+
+	root := StartDetached(tr, nil, "root")
+	a := StartDetached(tr, root, "worker.a")
+	b := StartDetached(tr, root, "worker.b") // overlaps a
+	advance(1 * time.Millisecond)
+	aChild := StartDetached(tr, a, "worker.a.inner")
+	advance(1 * time.Millisecond)
+	aChild.End()
+	a.End()
+	b.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatal(err)
+	}
+	lane := map[string]int{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			lane[e.Name] = e.Tid
+		}
+	}
+	if lane["worker.a"] == lane["worker.b"] {
+		t.Errorf("overlapping siblings share lane %d", lane["worker.a"])
+	}
+	if lane["worker.a.inner"] != lane["worker.a"] {
+		t.Errorf("child on lane %d, parent on %d; want same", lane["worker.a.inner"], lane["worker.a"])
+	}
+	if lane["root"] != 0 {
+		t.Errorf("root on lane %d, want 0", lane["root"])
+	}
+}
+
+// TestChromeTraceUnendedSpansOmitted: only finished spans are
+// exported; an unended span must not corrupt the JSON.
+func TestChromeTraceUnendedSpansOmitted(t *testing.T) {
+	tr, advance := fakeTracer()
+	open := StartDetached(tr, nil, "never.ends")
+	done := StartDetached(tr, open, "done")
+	advance(time.Millisecond)
+	done.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "never.ends") {
+		t.Error("unended span leaked into the export")
+	}
+	if !strings.Contains(out, `"done"`) {
+		t.Error("finished span missing from the export")
+	}
+}

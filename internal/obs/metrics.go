@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. Updates are single
+// atomic adds; the zero value is ready to use (but prefer NewCounter
+// so the value is visible in snapshots and expvar).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time level (queue depth, active workers, current
+// simulation cycle).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. v in [2^(i-1),
+// 2^i). Bucket 0 holds v <= 0.
+const histBuckets = 64
+
+// Histogram accumulates an int64 distribution in power-of-two buckets.
+// Observe is wait-free (three atomic adds); readers get a consistent-
+// enough view for progress reporting (buckets are not snapshotted
+// atomically with each other).
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1) from
+// the power-of-two buckets: the upper edge of the bucket the quantile
+// falls in. Returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			if i >= 63 {
+				return math.MaxInt64
+			}
+			return int64(1) << i
+		}
+	}
+	return math.MaxInt64
+}
+
+// registry is the process-global metric namespace. Registration is
+// rare (package init of the instrumented layers) and guarded by a
+// mutex; reads and updates of the metrics themselves never touch it.
+var (
+	regMu   sync.Mutex
+	regKeys []string
+	regVals = map[string]any{} // *Counter | *Gauge | *Histogram
+
+	expvarOnce sync.Once
+)
+
+func register(name string, m any) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := regVals[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	regVals[name] = m
+	regKeys = append(regKeys, name)
+	sort.Strings(regKeys)
+	expvarOnce.Do(func() {
+		expvar.Publish("stbusgen", expvar.Func(func() any { return Snapshot() }))
+	})
+}
+
+// NewCounter registers and returns a named counter. Metric names are
+// dotted lowercase paths ("milp.nodes"); registering a name twice
+// panics, so instruments are declared once as package variables.
+func NewCounter(name string) *Counter {
+	c := &Counter{}
+	register(name, c)
+	return c
+}
+
+// NewGauge registers and returns a named gauge.
+func NewGauge(name string) *Gauge {
+	g := &Gauge{}
+	register(name, g)
+	return g
+}
+
+// NewHistogram registers and returns a named histogram.
+func NewHistogram(name string) *Histogram {
+	h := &Histogram{}
+	register(name, h)
+	return h
+}
+
+// Snapshot returns the current value of every registered metric keyed
+// by name: int64 for counters and gauges, a small map (count/sum/p50/
+// p99) for histograms. It is the payload of the expvar "stbusgen" var,
+// the -metrics-addr /progress endpoint and the progress reporter.
+func Snapshot() map[string]any {
+	regMu.Lock()
+	keys := make([]string, len(regKeys))
+	copy(keys, regKeys)
+	vals := make(map[string]any, len(regVals))
+	for k, v := range regVals {
+		vals[k] = v
+	}
+	regMu.Unlock()
+
+	out := make(map[string]any, len(keys))
+	for _, k := range keys {
+		switch m := vals[k].(type) {
+		case *Counter:
+			out[k] = m.Value()
+		case *Gauge:
+			out[k] = m.Value()
+		case *Histogram:
+			out[k] = map[string]int64{
+				"count": m.Count(),
+				"sum":   m.Sum(),
+				"p50":   m.Quantile(0.50),
+				"p99":   m.Quantile(0.99),
+			}
+		}
+	}
+	return out
+}

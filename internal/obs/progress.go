@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LogProgress starts a goroutine that writes a one-line progress
+// report to w every interval until the returned stop function is
+// called. Each line shows elapsed wall time and every counter or gauge
+// that changed since the previous line, with per-second rates for
+// counters — enough to see where a multi-minute solve is spending its
+// time without attaching any other tooling.
+func LogProgress(w io.Writer, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		start := time.Now()
+		prev := flatSnapshot()
+		prevT := start
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-tick.C:
+				cur := flatSnapshot()
+				line := progressLine(time.Since(start), cur, prev, now.Sub(prevT))
+				if line != "" {
+					fmt.Fprintln(w, line)
+				}
+				prev, prevT = cur, now
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// flatSnapshot reduces Snapshot to the scalar metrics (counters and
+// gauges); histograms are summarized by their sample count.
+func flatSnapshot() map[string]int64 {
+	out := map[string]int64{}
+	for k, v := range Snapshot() {
+		switch t := v.(type) {
+		case int64:
+			out[k] = t
+		case map[string]int64:
+			out[k+".count"] = t["count"]
+		}
+	}
+	return out
+}
+
+// progressLine formats one report: elapsed time, then every metric
+// that changed since prev as name=value(+rate/s), sorted by name.
+func progressLine(elapsed time.Duration, cur, prev map[string]int64, dt time.Duration) string {
+	keys := make([]string, 0, len(cur))
+	for k, v := range cur {
+		if v != prev[k] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "progress %7.1fs", elapsed.Seconds())
+	secs := dt.Seconds()
+	for _, k := range keys {
+		delta := cur[k] - prev[k]
+		if secs > 0 && delta > 0 {
+			fmt.Fprintf(&b, "  %s=%d (+%.0f/s)", k, cur[k], float64(delta)/secs)
+		} else {
+			fmt.Fprintf(&b, "  %s=%d", k, cur[k])
+		}
+	}
+	return b.String()
+}
+
+// ServeMetrics exposes the metrics registry over HTTP on addr
+// ("host:port"; ":0" picks a free port): expvar at /debug/vars and a
+// plain JSON snapshot of the registry at /progress. It returns the
+// bound address and a function that shuts the server down.
+func ServeMetrics(addr string) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Snapshot()) //nolint:errcheck // best-effort diagnostics endpoint
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	return ln.Addr().String(), srv.Close, nil
+}

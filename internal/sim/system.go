@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/stbus"
 	"repro/internal/trace"
@@ -193,6 +194,12 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.Start(ctx, "sim.run")
+	defer span.End()
+	span.SetInt("initiators", int64(cfg.NumInitiators))
+	span.SetInt("targets", int64(cfg.NumTargets))
+	span.SetInt("horizon", cfg.Horizon)
+	metRuns.Inc()
 	if cfg.LockRetry <= 0 {
 		cfg.LockRetry = 16
 	}
@@ -233,6 +240,8 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	metCycles.Add(end)
+	span.SetInt("end_cycle", end)
 
 	res := &Result{
 		Latency:    s.rec,

@@ -7,6 +7,14 @@ import (
 
 	"repro/internal/conc"
 	"repro/internal/ds"
+	"repro/internal/obs"
+)
+
+// Analysis instruments (see internal/obs): total analyses run and
+// total windows characterized across them.
+var (
+	metAnalyses = obs.NewCounter("trace.analyses")
+	metWindows  = obs.NewCounter("trace.windows")
 )
 
 // Analysis is the window-based view of a trace (paper Definitions 1–2).
@@ -125,6 +133,14 @@ func AnalyzeWithBoundariesCtx(ctx context.Context, tr *Trace, boundaries []int64
 	nT := tr.NumReceivers
 	nW := len(boundaries) - 1
 	nPairs := nT * (nT - 1) / 2
+
+	ctx, span := obs.Start(ctx, "trace.analyze")
+	defer span.End()
+	span.SetInt("receivers", int64(nT))
+	span.SetInt("windows", int64(nW))
+	span.SetInt("events", int64(len(tr.Events)))
+	metAnalyses.Inc()
+	metWindows.Add(int64(nW))
 
 	a := &Analysis{
 		NumReceivers: nT,

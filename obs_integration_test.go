@@ -1,0 +1,92 @@
+package stbusgen_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	stbusgen "repro"
+	"repro/internal/obs"
+)
+
+// TestDesignerTraceCoverage runs the full Designer pipeline under a
+// tracer and checks the acceptance bar of the telemetry layer: the
+// phase spans (simulation, analysis, design, validation) must cover
+// nearly all of the root span's wall time, so a trace actually
+// explains where a run went.
+func TestDesignerTraceCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	d := stbusgen.NewDesigner(stbusgen.DefaultOptions())
+	if _, err := d.Design(ctx, stbusgen.Mat2(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var rootDur, phaseDur int64
+	for _, s := range tr.Spans() {
+		switch s.Name {
+		case "designer.design":
+			rootDur = s.Dur.Nanoseconds()
+		case "pipeline.prepare", "pipeline.design", "pipeline.validate":
+			phaseDur += s.Dur.Nanoseconds()
+		}
+	}
+	if rootDur == 0 {
+		t.Fatal("no designer.design root span recorded")
+	}
+	coverage := float64(phaseDur) / float64(rootDur)
+	t.Logf("phase spans cover %.1f%% of the root span (%dµs of %dµs)",
+		coverage*100, phaseDur/1000, rootDur/1000)
+	if coverage < 0.95 {
+		t.Errorf("phase spans cover %.1f%% of the Designer run, want >= 95%%", coverage*100)
+	}
+
+	// The export of a real concurrent run must be loadable JSON.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("exported trace does not parse: %v", err)
+	}
+}
+
+// TestDesignerTracedMatchesUntraced is the determinism guarantee:
+// telemetry observes, never steers. The same app designed with and
+// without a tracer must produce bit-identical crossbars.
+func TestDesignerTracedMatchesUntraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline in -short mode")
+	}
+	d := stbusgen.NewDesigner(stbusgen.DefaultOptions())
+	plain, err := d.Design(context.Background(), stbusgen.Mat2(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.WithTracer(context.Background(), obs.NewTracer())
+	traced, err := d.Design(ctx, stbusgen.Mat2(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Pair.Req.NumBuses != plain.Pair.Req.NumBuses ||
+		traced.Pair.Resp.NumBuses != plain.Pair.Resp.NumBuses {
+		t.Fatalf("bus counts differ with tracing: %d+%d vs %d+%d",
+			traced.Pair.Req.NumBuses, traced.Pair.Resp.NumBuses,
+			plain.Pair.Req.NumBuses, plain.Pair.Resp.NumBuses)
+	}
+	for i, b := range plain.Pair.Req.BusOf {
+		if traced.Pair.Req.BusOf[i] != b {
+			t.Fatalf("request binding differs with tracing at receiver %d", i)
+		}
+	}
+	for i, b := range plain.Pair.Resp.BusOf {
+		if traced.Pair.Resp.BusOf[i] != b {
+			t.Fatalf("response binding differs with tracing at receiver %d", i)
+		}
+	}
+}
