@@ -1,0 +1,148 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpora under
+// each package's testdata/fuzz directory. The files mirror the f.Add
+// seeds of the fuzz targets — including the regression inputs for the
+// bugs the harness found — so `go test -run=Fuzz ./...` exercises them
+// even on toolchains that skip in-source seeds, and so crashes minimized
+// by future fuzzing sessions have a stable home next to them.
+//
+// Usage (from the repository root):
+//
+//	go run ./cmd/gencorpus
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/stbus"
+	"repro/internal/trace"
+)
+
+// entry is one corpus file: a name and the fuzz-argument values in
+// target order. Supported value types: []byte and int64.
+type entry struct {
+	name string
+	vals []any
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to write testdata under")
+	flag.Parse()
+
+	corpora := map[string][]entry{
+		"internal/trace/testdata/fuzz/FuzzAnalyze":          analyzeSeeds(),
+		"internal/trace/testdata/fuzz/FuzzTraceEncode":      encodeSeeds(),
+		"internal/stbus/testdata/fuzz/FuzzNetlistRoundTrip": netlistSeeds(),
+		"internal/check/testdata/fuzz/FuzzDesignTrace":      designSeeds(),
+	}
+	for dir, entries := range corpora {
+		full := filepath.Join(*root, dir)
+		if err := os.MkdirAll(full, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			if err := os.WriteFile(filepath.Join(full, e.name), marshal(e.vals), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%s: %d seeds\n", dir, len(entries))
+	}
+}
+
+// marshal renders values in the `go test fuzz v1` corpus file format.
+func marshal(vals []any) []byte {
+	var b bytes.Buffer
+	b.WriteString("go test fuzz v1\n")
+	for _, v := range vals {
+		switch v := v.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%s)\n", strconv.Quote(string(v)))
+		case int64:
+			fmt.Fprintf(&b, "int64(%d)\n", v)
+		default:
+			log.Fatalf("unsupported corpus value type %T", v)
+		}
+	}
+	return b.Bytes()
+}
+
+func analyzeSeeds() []entry {
+	// A raw-form event whose Start+Len overflows int64: the regression
+	// input for the Validate overflow bug.
+	overflow := []byte{2, 1, 64, 0}
+	var ev [18]byte
+	binary.LittleEndian.PutUint64(ev[0:8], 5)
+	binary.LittleEndian.PutUint64(ev[8:16], uint64(math.MaxInt64-2))
+	ev[16] = 2 // raw form
+	return []entry{
+		{"empty-trace", []any{[]byte{3, 1, 40, 0}, int64(10)}},
+		{"one-event", []any{append([]byte{2, 1, 64, 0},
+			0, 0, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 4, 0), int64(7)}},
+		{"giant-window", []any{[]byte{5, 2, 100, 0}, int64(math.MaxInt64)}},
+		{"overflow-event", []any{append(overflow, ev[:]...), int64(16)}},
+	}
+}
+
+func encodeSeeds() []entry {
+	valid := &trace.Trace{NumReceivers: 2, NumSenders: 1, Horizon: 32, Events: []trace.Event{
+		{Start: 0, Len: 4, Sender: 0, Receiver: 0, Critical: true},
+		{Start: 8, Len: 2, Sender: 0, Receiver: 1},
+	}}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, valid); err != nil {
+		log.Fatal(err)
+	}
+	// Header declaring 2^27 events with no payload: the regression
+	// input for the decoder preallocation bomb.
+	hdr := append([]byte("STBT"), make([]byte, 28)...)
+	binary.LittleEndian.PutUint32(hdr[4:], 1)
+	binary.LittleEndian.PutUint32(hdr[8:], 2)
+	binary.LittleEndian.PutUint32(hdr[12:], 1)
+	binary.LittleEndian.PutUint64(hdr[16:], 32)
+	binary.LittleEndian.PutUint64(hdr[24:], 1<<27)
+	return []entry{
+		{"valid-trace", []any{buf.Bytes()}},
+		{"event-count-bomb", []any{hdr}},
+		{"magic-only", []any{[]byte("STBT")}},
+		{"empty", []any{[]byte{}}},
+	}
+}
+
+func netlistSeeds() []entry {
+	req := stbus.Partial(3, []int{0, 1, 0, 1})
+	resp := stbus.Partial(4, []int{0, 0, 1})
+	nl, err := stbus.GenerateNetlist("fuzz-seed", req, resp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteJSON(&buf); err != nil {
+		log.Fatal(err)
+	}
+	// The regression input for the allocation bomb: an absurd receiver
+	// count that used to reach make([]int, numReceivers) unchecked.
+	bomb := []byte(`{"name":"x","request":{"kind":"partial","arbitration":"round-robin",` +
+		`"num_senders":1,"num_receivers":1000000000000,"buses":[{"name":"b","arbiter":"a","receivers":[0]}]},` +
+		`"response":{"num_senders":1,"num_receivers":1,"buses":[{"receivers":[0]}]}}`)
+	return []entry{
+		{"valid-netlist", []any{buf.Bytes()}},
+		{"receiver-count-bomb", []any{bomb}},
+		{"empty-object", []any{[]byte(`{}`)}},
+		{"not-json", []any{[]byte(`not json`)}},
+	}
+}
+
+func designSeeds() []entry {
+	return []entry{
+		{"small-problem", []any{[]byte{3, 1, 40, 0, 2, 0x13, 0, 0, 8, 0, 0, 2, 5, 0, 6, 0, 1, 4}}},
+		{"no-events", []any{[]byte{5, 2, 100, 0, 0, 0x31}}},
+		{"single-receiver", []any{[]byte{1, 1, 16, 0, 5, 0x02}}},
+	}
+}

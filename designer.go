@@ -2,7 +2,9 @@ package stbusgen
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -63,13 +65,25 @@ func (d *Designer) Design(ctx context.Context, app *App) (*Result, error) {
 	span.SetStr("app", app.Name)
 	span.SetInt("initiators", int64(app.NumInitiators))
 	span.SetInt("targets", int64(app.NumTargets))
+	opts := d.options()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	run, err := experiments.PrepareCtx(ctx, app)
 	if err != nil {
 		return nil, err
 	}
-	pair, err := run.DesignCtx(ctx, d.options())
+	pair, err := run.DesignCtx(ctx, opts)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Audit {
+		if err := auditDesign(pair.Req, run.AReq, opts, "request"); err != nil {
+			return nil, err
+		}
+		if err := auditDesign(pair.Resp, run.AResp, opts, "response"); err != nil {
+			return nil, err
+		}
 	}
 	validation, err := run.ValidateCtx(ctx, pair)
 	if err != nil {
@@ -92,11 +106,35 @@ func (d *Designer) DesignTrace(ctx context.Context, tr *Trace, windowSize int64)
 	defer span.End()
 	span.SetInt("receivers", int64(tr.NumReceivers))
 	span.SetInt("window_size", windowSize)
+	opts := d.options()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	a, err := trace.AnalyzeCtx(ctx, tr, windowSize)
 	if err != nil {
 		return nil, err
 	}
-	return core.DesignCrossbarCtx(ctx, a, d.options())
+	design, err := core.DesignCrossbarCtx(ctx, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Audit {
+		if err := auditDesign(design, a, opts, "trace"); err != nil {
+			return nil, err
+		}
+	}
+	return design, nil
+}
+
+// auditDesign re-derives every paper constraint for one direction's
+// design with the independent checker and converts violations into an
+// error. Solver and auditor sharing a bug is the only way this passes
+// wrongly, which is exactly the redundancy Options.Audit buys.
+func auditDesign(d *Design, a *Analysis, opts Options, direction string) error {
+	if rep := check.Audit(d, a, opts); !rep.OK() {
+		return fmt.Errorf("stbusgen: %s design failed audit: %w", direction, rep.Err())
+	}
+	return nil
 }
 
 // DesignForAppCtx is DesignForApp under a context.

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	checkpkg "repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/workloads"
@@ -87,6 +88,17 @@ func TestGoldenDesigns(t *testing.T) {
 			}
 			check("request", pair.Req, want.reqBuses, want.reqBusOf, want.reqOverlap)
 			check("response", pair.Resp, want.respBuses, want.respBusOf, want.respOverlap)
+
+			// Beyond bit-identity to the pinned values, every golden
+			// design must satisfy the paper constraints as recomputed by
+			// the independent auditor.
+			opts := core.DefaultOptions()
+			if rep := checkpkg.Audit(pair.Req, run.AReq, opts); !rep.OK() {
+				t.Errorf("request design fails audit: %v", rep.Err())
+			}
+			if rep := checkpkg.Audit(pair.Resp, run.AResp, opts); !rep.OK() {
+				t.Errorf("response design fails audit: %v", rep.Err())
+			}
 		})
 	}
 }

@@ -35,6 +35,10 @@ type assignResult struct {
 	busOf      []int
 	maxOverlap int64
 	nodes      int64
+	// capped marks an optimize-mode solve whose node budget ran out
+	// before the search tree was exhausted: busOf is the best incumbent
+	// found, not a proven optimum.
+	capped bool
 }
 
 const defaultMaxNodes = 20_000_000
@@ -234,6 +238,10 @@ func (p *assignProblem) solve(ctx context.Context, nB int, optimize bool) (*assi
 		res.feasible = true
 		res.busOf = st.bestBus
 		res.maxOverlap = st.best
+		// A truncated optimality search still holds a feasible
+		// incumbent, but it is not proven optimal — surface that
+		// instead of passing the incumbent off as the optimum.
+		res.capped = st.capped
 		return res, nil
 	}
 	if !found {

@@ -111,6 +111,51 @@ type Options struct {
 	// every Workers value (the search only narrows on proven
 	// feasibility facts, and each per-count solve is deterministic).
 	Workers int
+	// Audit re-checks every produced design against the paper's
+	// constraints (Eq. 3–9, Eq. 11 objective consistency) with the
+	// independent auditor in internal/check before it is returned.
+	// The knob is honored by the stbusgen facade (Designer.Design,
+	// Designer.DesignTrace); internal/check sits above this package,
+	// so core itself cannot run the audit. Free when false.
+	Audit bool
+}
+
+// Validate rejects option sets that would otherwise panic deep in the
+// pipeline or silently design against garbage constraints. The zero
+// value and DefaultOptions are both valid. Every facade entry point
+// calls it before doing any work; direct users of DesignCrossbar get
+// the same check at the top of the solve.
+func (o Options) Validate() error {
+	if o.OverlapThreshold != o.OverlapThreshold { // NaN
+		return errors.New("core: overlap threshold is NaN")
+	}
+	if o.OverlapThreshold > 1 {
+		return fmt.Errorf("core: overlap threshold %v exceeds 1 (fraction of window size; negative disables pre-processing)", o.OverlapThreshold)
+	}
+	if o.MaxPerBus < 0 {
+		return fmt.Errorf("core: MaxPerBus %d is negative (0 means no cap)", o.MaxPerBus)
+	}
+	if o.MinBuses < 0 {
+		return fmt.Errorf("core: MinBuses %d is negative", o.MinBuses)
+	}
+	if o.MaxBuses < 0 {
+		return fmt.Errorf("core: MaxBuses %d is negative (0 means no bound)", o.MaxBuses)
+	}
+	if o.MaxBuses > 0 && o.MinBuses > o.MaxBuses {
+		return fmt.Errorf("core: MinBuses %d exceeds MaxBuses %d", o.MinBuses, o.MaxBuses)
+	}
+	if o.MaxNodes < 0 {
+		return fmt.Errorf("core: MaxNodes %d is negative (0 means the default budget)", o.MaxNodes)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", o.Workers)
+	}
+	switch o.Engine {
+	case EngineBranchBound, EngineMILP, EngineAnneal:
+	default:
+		return fmt.Errorf("core: unknown engine %d", int(o.Engine))
+	}
+	return nil
 }
 
 // DefaultOptions returns the parameter set used for the paper's main
@@ -144,6 +189,15 @@ type Design struct {
 	SearchNodes int64
 	// Engine records which solver produced the design.
 	Engine Engine
+	// Capped reports that the binding-phase search exhausted its node
+	// budget (Options.MaxNodes) before proving optimality: BusOf is the
+	// best incumbent found — feasible, but possibly suboptimal, so
+	// MaxBusOverlap is an upper bound on the optimum rather than the
+	// optimum itself. The feasibility phase never sets it (a capped
+	// feasibility probe fails with ErrSearchLimit instead), and
+	// EngineAnneal designs are heuristic by contract, so Capped stays
+	// false there.
+	Capped bool
 }
 
 // ErrSearchLimit is returned when the solver exceeds its node budget
@@ -186,8 +240,8 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	if a == nil || a.NumReceivers == 0 {
 		return nil, errors.New("core: empty analysis")
 	}
-	if opts.OverlapThreshold > 1 {
-		return nil, fmt.Errorf("core: overlap threshold %v exceeds 1 (fraction of window size)", opts.OverlapThreshold)
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	nT := a.NumReceivers
 	maxPerBus := opts.MaxPerBus
@@ -311,6 +365,7 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		Conflicts:     nConf,
 		SearchNodes:   nodes,
 		Engine:        opts.Engine,
+		Capped:        result.capped,
 	}, nil
 }
 

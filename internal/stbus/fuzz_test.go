@@ -1,0 +1,70 @@
+package stbus
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzNetlistRoundTrip feeds arbitrary JSON documents to the netlist
+// decoder. Anything it accepts must reconstruct into validated
+// configurations without panicking, and regenerating the netlist from
+// those configurations must round-trip to the same configurations.
+func FuzzNetlistRoundTrip(f *testing.F) {
+	// A well-formed netlist generated from a real design pair.
+	req := Partial(3, []int{0, 1, 0, 1})
+	resp := Partial(4, []int{0, 0, 1})
+	nl, err := GenerateNetlist("fuzz-seed", req, resp)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := nl.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Regression: an absurd receiver count used to reach
+	// make([]int, numReceivers) before any plausibility check.
+	f.Add([]byte(`{"name":"x","request":{"kind":"partial","arbitration":"round-robin",` +
+		`"num_senders":1,"num_receivers":1000000000000,"buses":[{"name":"b","arbiter":"a","receivers":[0]}]},` +
+		`"response":{"num_senders":1,"num_receivers":1,"buses":[{"receivers":[0]}]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nl, err := ReadNetlistJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		req, resp, err := nl.Configs()
+		if err != nil {
+			return // rejected; the point is it must not panic
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("Configs returned invalid request config: %v", err)
+		}
+		if err := resp.Validate(); err != nil {
+			t.Fatalf("Configs returned invalid response config: %v", err)
+		}
+		regen, err := GenerateNetlist(nl.Name, req, resp)
+		if err != nil {
+			t.Fatalf("GenerateNetlist on validated configs: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := regen.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		back, err := ReadNetlistJSON(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding generated netlist: %v", err)
+		}
+		req2, resp2, err := back.Configs()
+		if err != nil {
+			t.Fatalf("Configs on round-tripped netlist: %v", err)
+		}
+		if !reflect.DeepEqual(req, req2) || !reflect.DeepEqual(resp, resp2) {
+			t.Fatalf("netlist round-trip changed the configurations:\nreq  %+v\nreq' %+v\nresp  %+v\nresp' %+v",
+				req, req2, resp, resp2)
+		}
+	})
+}

@@ -172,6 +172,13 @@ func (d *DirectionNet) config() (*Config, error) {
 	if numReceivers <= 0 || d.NumSenders <= 0 || len(d.Buses) == 0 {
 		return nil, errors.New("empty direction")
 	}
+	// Sanity-bound the declared shape before allocating per-receiver
+	// state: the counts come from an untrusted JSON document, and the
+	// STbus crossbar tops out at 32 ports anyway.
+	const maxPorts = 1 << 20
+	if numReceivers > maxPorts || d.NumSenders > maxPorts {
+		return nil, fmt.Errorf("implausible port counts (%d receivers, %d senders)", numReceivers, d.NumSenders)
+	}
 	for _, bus := range d.Buses {
 		for _, r := range bus.Receivers {
 			if r < 0 || r >= numReceivers {

@@ -47,8 +47,42 @@ func (a *Analysis) NumWindows() int { return len(a.Boundaries) - 1 }
 // WindowLen returns the length in cycles of window m.
 func (a *Analysis) WindowLen(m int) int64 { return a.Boundaries[m+1] - a.Boundaries[m] }
 
-// PairIndex maps an unordered receiver pair to its Overlap row.
+// maxWindows bounds the number of analysis windows a single Analyze
+// call may produce, guarding against absurd window sizes turning into
+// multi-gigabyte matrix allocations.
+const maxWindows = 1 << 26
+
+// CheckPair validates a receiver pair against the analysis shape,
+// returning a descriptive error for out-of-range or diagonal indices.
+// The unchecked accessors (PairIndex, PairOverlap, ...) are the hot
+// path and panic on misuse; callers handling untrusted indices should
+// use the *Checked variants instead.
+func (a *Analysis) CheckPair(i, j int) error {
+	if i < 0 || i >= a.NumReceivers || j < 0 || j >= a.NumReceivers {
+		return fmt.Errorf("trace: receiver pair (%d,%d) outside range [0,%d)", i, j, a.NumReceivers)
+	}
+	if i == j {
+		return fmt.Errorf("trace: receiver pair (%d,%d) is the diagonal (pairs are unordered distinct receivers)", i, j)
+	}
+	return nil
+}
+
+// checkWindow validates a window index.
+func (a *Analysis) checkWindow(m int) error {
+	if m < 0 || m >= a.NumWindows() {
+		return fmt.Errorf("trace: window %d outside range [0,%d)", m, a.NumWindows())
+	}
+	return nil
+}
+
+// PairIndex maps an unordered receiver pair to its Overlap row. It
+// panics with a descriptive message when either receiver is out of
+// range or i == j (there is no row for the diagonal); PairOverlap and
+// PairCritOverlap tolerate i == j, returning 0.
 func (a *Analysis) PairIndex(i, j int) int {
+	if i < 0 || j < 0 || i >= a.NumReceivers || j >= a.NumReceivers || i == j {
+		panic(fmt.Sprintf("trace: no pair row for (%d,%d) with %d receivers", i, j, a.NumReceivers))
+	}
 	if i > j {
 		i, j = j, i
 	}
@@ -63,12 +97,35 @@ func (a *Analysis) PairOverlap(i, j, m int) int64 {
 	return a.Overlap.At(a.PairIndex(i, j), m)
 }
 
+// PairOverlapChecked is PairOverlap with explicit validation of the
+// receiver pair and window index, for callers on untrusted input.
+func (a *Analysis) PairOverlapChecked(i, j, m int) (int64, error) {
+	if err := a.CheckPair(i, j); err != nil {
+		return 0, err
+	}
+	if err := a.checkWindow(m); err != nil {
+		return 0, err
+	}
+	return a.Overlap.At(a.PairIndex(i, j), m), nil
+}
+
 // PairCritOverlap returns the critical-stream overlap of (i,j) in window m.
 func (a *Analysis) PairCritOverlap(i, j, m int) int64 {
 	if i == j {
 		return 0
 	}
 	return a.CritOverlap.At(a.PairIndex(i, j), m)
+}
+
+// PairCritOverlapChecked is PairCritOverlap with explicit validation.
+func (a *Analysis) PairCritOverlapChecked(i, j, m int) (int64, error) {
+	if err := a.CheckPair(i, j); err != nil {
+		return 0, err
+	}
+	if err := a.checkWindow(m); err != nil {
+		return 0, err
+	}
+	return a.CritOverlap.At(a.PairIndex(i, j), m), nil
 }
 
 // Analyze divides the trace into fixed-size windows of ws cycles (the
@@ -89,7 +146,17 @@ func AnalyzeCtx(ctx context.Context, tr *Trace, ws int64) (*Analysis, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	numWindows := int((tr.Horizon + ws - 1) / ws)
+	// Divide before rounding: the textbook (Horizon+ws-1)/ws ceiling
+	// overflows int64 for a window size near MaxInt64 and ends up
+	// asking for a negative number of windows.
+	numWindows64 := tr.Horizon / ws
+	if tr.Horizon%ws != 0 {
+		numWindows64++
+	}
+	if numWindows64 > maxWindows {
+		return nil, fmt.Errorf("trace: window size %d yields %d windows, more than the %d supported", ws, numWindows64, maxWindows)
+	}
+	numWindows := int(numWindows64)
 	boundaries := make([]int64, numWindows+1)
 	for m := 0; m <= numWindows; m++ {
 		b := int64(m) * ws

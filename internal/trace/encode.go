@@ -87,24 +87,31 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if numEvents > maxEvents {
 		return nil, fmt.Errorf("trace: implausible event count %d", numEvents)
 	}
+	const maxCores = 1 << 20 // far beyond the STbus limit of 32
+	if numReceivers > maxCores || numSenders > maxCores {
+		return nil, fmt.Errorf("trace: implausible core counts (%d receivers, %d senders)", numReceivers, numSenders)
+	}
 	tr := &Trace{
 		NumReceivers: int(numReceivers),
 		NumSenders:   int(numSenders),
 		Horizon:      int64(horizon),
-		Events:       make([]Event, numEvents),
+		// Grow the slice as events are read instead of trusting the
+		// header: a corrupt count below maxEvents would otherwise
+		// commit gigabytes before the first short read is noticed.
+		Events: make([]Event, 0, min(numEvents, 1<<16)),
 	}
 	var buf [25]byte
-	for i := range tr.Events {
+	for i := uint64(0); i < numEvents; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
 		}
-		tr.Events[i] = Event{
+		tr.Events = append(tr.Events, Event{
 			Start:    int64(binary.LittleEndian.Uint64(buf[0:])),
 			Len:      int64(binary.LittleEndian.Uint64(buf[8:])),
 			Sender:   int(binary.LittleEndian.Uint32(buf[16:])),
 			Receiver: int(binary.LittleEndian.Uint32(buf[20:])),
 			Critical: buf[24] != 0,
-		}
+		})
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err

@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// decodeFuzzTrace builds a trace from raw fuzz bytes. Event fields are
+// taken in one of two forms, selected per event by a flag bit: reduced
+// modulo the horizon (so mutations usually stay structurally valid and
+// reach the analysis code) or raw int64 (so mutations can attack
+// Validate itself with extreme values — that form found the
+// Start+Len overflow). Callers must still run Validate.
+func decodeFuzzTrace(data []byte) *Trace {
+	if len(data) < 4 {
+		return nil
+	}
+	tr := &Trace{
+		NumReceivers: 1 + int(data[0]%12),
+		NumSenders:   1 + int(data[1]%4),
+		Horizon:      1 + int64(binary.LittleEndian.Uint16(data[2:4]))%4096,
+	}
+	data = data[4:]
+	const evBytes = 18
+	for len(data) >= evBytes && len(tr.Events) < 64 {
+		start := int64(binary.LittleEndian.Uint64(data[0:8]))
+		length := int64(binary.LittleEndian.Uint64(data[8:16]))
+		raw := data[16]&2 != 0
+		if !raw {
+			start = ((start % tr.Horizon) + tr.Horizon) % tr.Horizon
+			rem := tr.Horizon - start // ≥ 1
+			length = 1 + ((length%rem)+rem)%rem
+		}
+		tr.Events = append(tr.Events, Event{
+			Start:    start,
+			Len:      length,
+			Sender:   int(data[17]) % tr.NumSenders,
+			Receiver: int(data[16]>>2) % tr.NumReceivers,
+			Critical: data[16]&1 != 0,
+		})
+		data = data[evBytes:]
+	}
+	return tr
+}
+
+// FuzzAnalyze feeds arbitrary traces and window sizes through the
+// window analysis and cross-checks the result against a brute-force
+// per-cycle oracle: every Comm entry, every pairwise overlap and the
+// aggregate OM must match counts over an explicit busy-cycle bitmap.
+func FuzzAnalyze(f *testing.F) {
+	f.Add([]byte{3, 1, 40, 0}, int64(10))
+	f.Add(append([]byte{2, 1, 64, 0},
+		0, 0, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 4, 0), int64(7))
+	// Window size far beyond the horizon (single short window).
+	f.Add([]byte{5, 2, 100, 0}, int64(math.MaxInt64))
+	// Regression: a raw-form event whose Start+Len overflows int64 —
+	// before the Validate fix it passed validation and corrupted the
+	// interval sets.
+	overflow := []byte{2, 1, 64, 0}
+	var ev [18]byte
+	binary.LittleEndian.PutUint64(ev[0:8], 5)
+	binary.LittleEndian.PutUint64(ev[8:16], uint64(math.MaxInt64-2))
+	ev[16] = 2 // raw form
+	f.Add(append(overflow, ev[:]...), int64(16))
+
+	f.Fuzz(func(t *testing.T, data []byte, ws int64) {
+		tr := decodeFuzzTrace(data)
+		if tr == nil {
+			return
+		}
+		if tr.Validate() != nil {
+			// Validate rejected it; the oracle below would be
+			// meaningless. Reaching here with extreme raw fields is
+			// itself the test that Validate cannot be bypassed.
+			return
+		}
+		a, err := Analyze(tr, ws)
+		if err != nil {
+			if ws <= 0 {
+				return // the documented rejection
+			}
+			t.Fatalf("Analyze rejected a valid trace: %v", err)
+		}
+
+		// Structural window invariants.
+		nW := a.NumWindows()
+		if a.Boundaries[0] != 0 || a.Boundaries[nW] != tr.Horizon {
+			t.Fatalf("boundaries %v do not span [0,%d]", a.Boundaries, tr.Horizon)
+		}
+		for m := 0; m < nW; m++ {
+			if a.WindowLen(m) <= 0 || (ws > 0 && a.WindowLen(m) > ws) {
+				t.Fatalf("window %d has length %d (ws=%d)", m, a.WindowLen(m), ws)
+			}
+		}
+
+		// Brute-force oracle: explicit busy bitmaps per receiver.
+		busy := make([][]bool, tr.NumReceivers)
+		for i := range busy {
+			busy[i] = make([]bool, tr.Horizon)
+		}
+		for _, e := range tr.Events {
+			for c := e.Start; c < e.End(); c++ {
+				busy[e.Receiver][c] = true
+			}
+		}
+		countIn := func(marks []bool, lo, hi int64) int64 {
+			var n int64
+			for c := lo; c < hi; c++ {
+				if marks[c] {
+					n++
+				}
+			}
+			return n
+		}
+		for i := 0; i < tr.NumReceivers; i++ {
+			for m := 0; m < nW; m++ {
+				want := countIn(busy[i], a.Boundaries[m], a.Boundaries[m+1])
+				if got := a.Comm.At(i, m); got != want {
+					t.Fatalf("Comm(%d,%d) = %d, oracle %d", i, m, got, want)
+				}
+			}
+			for j := i + 1; j < tr.NumReceivers; j++ {
+				both := make([]bool, tr.Horizon)
+				for c := int64(0); c < tr.Horizon; c++ {
+					both[c] = busy[i][c] && busy[j][c]
+				}
+				var total int64
+				for m := 0; m < nW; m++ {
+					want := countIn(both, a.Boundaries[m], a.Boundaries[m+1])
+					got, err := a.PairOverlapChecked(i, j, m)
+					if err != nil {
+						t.Fatalf("PairOverlapChecked(%d,%d,%d): %v", i, j, m, err)
+					}
+					if got != want {
+						t.Fatalf("PairOverlap(%d,%d,%d) = %d, oracle %d", i, j, m, got, want)
+					}
+					total += want
+				}
+				if got := a.OM.At(i, j); got != total {
+					t.Fatalf("OM(%d,%d) = %d, oracle %d", i, j, got, total)
+				}
+			}
+		}
+	})
+}
+
+// FuzzTraceEncode hammers the binary decoder with arbitrary bytes and
+// requires that anything it accepts survives a binary and a JSON
+// round-trip bit-identically.
+func FuzzTraceEncode(f *testing.F) {
+	// A small valid trace, properly encoded.
+	valid := &Trace{NumReceivers: 2, NumSenders: 1, Horizon: 32, Events: []Event{
+		{Start: 0, Len: 4, Sender: 0, Receiver: 0, Critical: true},
+		{Start: 8, Len: 2, Sender: 0, Receiver: 1},
+	}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	// Regression: header declaring ~2^28 events with no payload — the
+	// decoder used to preallocate the whole slice before reading.
+	hdr := append([]byte("STBT"), make([]byte, 28)...)
+	binary.LittleEndian.PutUint32(hdr[4:], 1)      // version
+	binary.LittleEndian.PutUint32(hdr[8:], 2)      // receivers
+	binary.LittleEndian.PutUint32(hdr[12:], 1)     // senders
+	binary.LittleEndian.PutUint64(hdr[16:], 32)    // horizon
+	binary.LittleEndian.PutUint64(hdr[24:], 1<<27) // events
+	f.Add(hdr)
+	f.Add([]byte("STBT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("ReadBinary returned an invalid trace: %v", err)
+		}
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, tr); err != nil {
+			t.Fatalf("WriteBinary: %v", err)
+		}
+		back, err := ReadBinary(&bin)
+		if err != nil {
+			t.Fatalf("binary round-trip decode: %v", err)
+		}
+		if !tracesEqual(tr, back) {
+			t.Fatalf("binary round-trip changed the trace: %+v vs %+v", tr, back)
+		}
+		var js bytes.Buffer
+		if err := WriteJSON(&js, tr); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		back, err = ReadJSON(&js)
+		if err != nil {
+			t.Fatalf("JSON round-trip decode: %v", err)
+		}
+		if !tracesEqual(tr, back) {
+			t.Fatalf("JSON round-trip changed the trace: %+v vs %+v", tr, back)
+		}
+	})
+}
+
+// tracesEqual compares traces treating nil and empty event slices as
+// equal (the encodings do not distinguish them).
+func tracesEqual(a, b *Trace) bool {
+	if a.NumReceivers != b.NumReceivers || a.NumSenders != b.NumSenders || a.Horizon != b.Horizon {
+		return false
+	}
+	if len(a.Events) != len(b.Events) {
+		return false
+	}
+	return len(a.Events) == 0 || reflect.DeepEqual(a.Events, b.Events)
+}

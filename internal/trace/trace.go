@@ -69,8 +69,11 @@ func (tr *Trace) Validate() error {
 		if e.Len <= 0 {
 			return fmt.Errorf("trace: event %d has non-positive length %d", i, e.Len)
 		}
-		if e.Start < 0 || e.End() > tr.Horizon {
-			return fmt.Errorf("trace: event %d [%d,%d) outside horizon %d", i, e.Start, e.End(), tr.Horizon)
+		// Bound Len against the remaining horizon instead of comparing
+		// e.End() to it: Start+Len can overflow int64 (wrapping End()
+		// negative), and a wrapped End passes an `End > Horizon` check.
+		if e.Start < 0 || e.Start >= tr.Horizon || e.Len > tr.Horizon-e.Start {
+			return fmt.Errorf("trace: event %d [%d,+%d) outside horizon %d", i, e.Start, e.Len, tr.Horizon)
 		}
 	}
 	return nil

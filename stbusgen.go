@@ -122,11 +122,28 @@ func DesignFromTrace(tr *Trace, windowSize int64, opts Options) (*Design, error)
 // checkPair validates that a design pair's bindings match the app's
 // platform shape.
 func checkPair(app *App, pair *DesignPair) error {
+	if pair == nil || pair.Req == nil || pair.Resp == nil {
+		return fmt.Errorf("stbusgen: design pair is incomplete")
+	}
 	if len(pair.Req.BusOf) != app.NumTargets {
 		return fmt.Errorf("stbusgen: request binding covers %d targets, app has %d", len(pair.Req.BusOf), app.NumTargets)
 	}
 	if len(pair.Resp.BusOf) != app.NumInitiators {
 		return fmt.Errorf("stbusgen: response binding covers %d initiators, app has %d", len(pair.Resp.BusOf), app.NumInitiators)
+	}
+	for _, d := range []struct {
+		name   string
+		design *Design
+	}{{"request", pair.Req}, {"response", pair.Resp}} {
+		if d.design.NumBuses <= 0 {
+			return fmt.Errorf("stbusgen: %s design has %d buses", d.name, d.design.NumBuses)
+		}
+		for r, b := range d.design.BusOf {
+			if b < 0 || b >= d.design.NumBuses {
+				return fmt.Errorf("stbusgen: %s binding maps receiver %d to bus %d of %d",
+					d.name, r, b, d.design.NumBuses)
+			}
+		}
 	}
 	return nil
 }
