@@ -1,0 +1,214 @@
+// Command analysisbench times the trace-analysis kernels on the
+// deterministic benchprobs.ScaledTrace instances and writes the results
+// as JSON — by convention to BENCH_analysis.json at the repository
+// root, which CI uploads as a build artifact. The cases mirror the
+// in-tree `go test -bench Analyze` benchmarks in internal/trace, so
+// numbers from either source are comparable.
+//
+// Three configurations run per case: "legacy" is the original O(R²)
+// pairwise interval-set intersection kernel (retained behind
+// trace.AnalyzeLegacy), "sweep" is the single-pass sweep-line kernel
+// that replaced it, and "stream" is the same kernel fed the binary
+// trace encoding through trace.AnalyzeReader without materializing the
+// event slice. Before timing anything, every case's three outputs are
+// cross-checked bit-identical; a mismatch aborts the run.
+//
+// Usage:
+//
+//	analysisbench                 # standard suite (up to 1M events)
+//	analysisbench -full           # adds the 10M-event cases
+//	analysisbench -quick -out /tmp/b.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/benchprobs"
+	"repro/internal/trace"
+)
+
+type caseResult struct {
+	Name        string `json:"name"`
+	Config      string `json:"config"`
+	Receivers   int    `json:"receivers"`
+	Events      int    `json:"events"`
+	Windows     int    `json:"windows"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Skipped     bool   `json:"skipped,omitempty"`
+	Note        string `json:"note,omitempty"`
+}
+
+type report struct {
+	GeneratedBy string       `json:"generated_by"`
+	Timestamp   string       `json:"timestamp"`
+	Cases       []caseResult `json:"cases"`
+}
+
+var (
+	out   = flag.String("out", "BENCH_analysis.json", "output JSON path")
+	quick = flag.Bool("quick", false, "cap cases at 100k events")
+	full  = flag.Bool("full", false, "include the 10M-event cases")
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analysisbench: ")
+	flag.Parse()
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// benchCase times one kernel configuration under testing.Benchmark.
+func benchCase(name, config string, tr *trace.Trace, nW int, fn func() error) caseResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return caseResult{
+		Name:        name,
+		Config:      config,
+		Receivers:   tr.NumReceivers,
+		Events:      len(tr.Events),
+		Windows:     nW,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	receiverCounts := []int{8, 16, 32, 64}
+	eventCounts := []int{10_000, 100_000, 1_000_000}
+	if *quick {
+		eventCounts = []int{10_000, 100_000}
+	}
+	if *full {
+		eventCounts = append(eventCounts, 10_000_000)
+	}
+
+	var rep report
+	rep.GeneratedBy = "cmd/analysisbench"
+	rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	add := func(c caseResult) {
+		rep.Cases = append(rep.Cases, c)
+		if c.Skipped {
+			log.Printf("%-24s %-8s skipped: %s", c.Name, c.Config, c.Note)
+			return
+		}
+		log.Printf("%-24s %-8s %14d ns/op %12d B/op %8d allocs/op",
+			c.Name, c.Config, c.NsPerOp, c.BytesPerOp, c.AllocsPerOp)
+	}
+
+	for _, events := range eventCounts {
+		for _, receivers := range receiverCounts {
+			// The legacy kernel at 10M events and high receiver counts
+			// runs for minutes per iteration; one full-scale legacy
+			// point (32 receivers) is enough to anchor the comparison.
+			legacyTooBig := events >= 10_000_000 && receivers != 32
+
+			name := fmt.Sprintf("%drx-%s", receivers, eventLabel(events))
+			tr := benchprobs.ScaledTrace(receivers, events)
+			ws := benchprobs.ScaledWindow(tr)
+			encoded, err := encodeSorted(tr)
+			if err != nil {
+				return fmt.Errorf("%s: encoding: %w", name, err)
+			}
+
+			// Equivalence gate before timing: all three paths must
+			// produce bit-identical analyses on this exact case.
+			sweep, err := trace.Analyze(tr, ws)
+			if err != nil {
+				return fmt.Errorf("%s: sweep: %w", name, err)
+			}
+			nW := sweep.NumWindows()
+			streamed, err := trace.AnalyzeReader(ctx, bytes.NewReader(encoded), ws)
+			if err != nil {
+				return fmt.Errorf("%s: stream: %w", name, err)
+			}
+			if diffs := trace.DiffAnalyses(sweep, streamed); len(diffs) > 0 {
+				return fmt.Errorf("%s: sweep vs stream disagree:\n%s", name, strings.Join(diffs, "\n"))
+			}
+			if !legacyTooBig {
+				legacy, err := trace.AnalyzeLegacy(tr, ws)
+				if err != nil {
+					return fmt.Errorf("%s: legacy: %w", name, err)
+				}
+				if diffs := trace.DiffAnalyses(sweep, legacy); len(diffs) > 0 {
+					return fmt.Errorf("%s: sweep vs legacy disagree:\n%s", name, strings.Join(diffs, "\n"))
+				}
+			}
+			sweep, streamed = nil, nil
+
+			if legacyTooBig {
+				add(caseResult{
+					Name: name, Config: "legacy", Receivers: receivers, Events: events, Windows: nW,
+					Skipped: true, Note: "legacy kernel takes minutes per iteration at this scale; the 32rx point anchors the comparison",
+				})
+			} else {
+				add(benchCase(name, "legacy", tr, nW, func() error {
+					_, err := trace.AnalyzeLegacy(tr, ws)
+					return err
+				}))
+			}
+			add(benchCase(name, "sweep", tr, nW, func() error {
+				_, err := trace.Analyze(tr, ws)
+				return err
+			}))
+			add(benchCase(name, "stream", tr, nW, func() error {
+				_, err := trace.AnalyzeReader(ctx, bytes.NewReader(encoded), ws)
+				return err
+			}))
+		}
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", *out)
+	return nil
+}
+
+func eventLabel(events int) string {
+	switch {
+	case events >= 1_000_000:
+		return fmt.Sprintf("%dM", events/1_000_000)
+	case events >= 1_000:
+		return fmt.Sprintf("%dk", events/1_000)
+	}
+	return fmt.Sprint(events)
+}
+
+// encodeSorted renders the trace in the binary stream format.
+// ScaledTrace emits events already ordered by start, which is what
+// AnalyzeReader requires.
+func encodeSorted(tr *trace.Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

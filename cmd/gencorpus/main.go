@@ -73,20 +73,54 @@ func marshal(vals []any) []byte {
 	return b.Bytes()
 }
 
-func analyzeSeeds() []entry {
-	// A raw-form event whose Start+Len overflows int64: the regression
-	// input for the Validate overflow bug.
-	overflow := []byte{2, 1, 64, 0}
-	var ev [18]byte
-	binary.LittleEndian.PutUint64(ev[0:8], 5)
-	binary.LittleEndian.PutUint64(ev[8:16], uint64(math.MaxInt64-2))
+// fuzzEvent encodes one decodeFuzzTrace event record (19 bytes) in the
+// raw form, mirroring the helper in internal/trace's fuzz harness.
+func fuzzEvent(start, length int64, recv, sender byte, critical bool) []byte {
+	var ev [19]byte
+	binary.LittleEndian.PutUint64(ev[0:8], uint64(start))
+	binary.LittleEndian.PutUint64(ev[8:16], uint64(length))
 	ev[16] = 2 // raw form
+	if critical {
+		ev[16] |= 1
+	}
+	ev[17] = sender
+	ev[18] = recv
+	return ev[:]
+}
+
+func analyzeSeeds() []entry {
+	// Adversarial seeds target the sweep kernel's corner cases: ties in
+	// the deactivation order, credits flush with window edges, maximum
+	// pair fan-out, and an active bitset wider than one 64-bit word.
+	coincident := []byte{2, 0, 64, 0}
+	coincident = append(coincident, fuzzEvent(8, 8, 0, 0, true)...)
+	coincident = append(coincident, fuzzEvent(8, 8, 1, 0, false)...)
+	coincident = append(coincident, fuzzEvent(16, 8, 2, 0, true)...)
+	aligned := []byte{2, 0, 100, 0}
+	aligned = append(aligned, fuzzEvent(10, 10, 0, 0, false)...)
+	aligned = append(aligned, fuzzEvent(20, 10, 1, 0, true)...)
+	aligned = append(aligned, fuzzEvent(10, 20, 2, 0, false)...)
+	allActive := []byte{7, 0, 64, 0}
+	for r := byte(0); r < 8; r++ {
+		allActive = append(allActive, fuzzEvent(int64(r), 32, r, 0, r%2 == 0)...)
+	}
+	wide := []byte{95, 0, 200, 0}
+	wide = append(wide, fuzzEvent(0, 40, 70, 0, true)...)
+	wide = append(wide, fuzzEvent(10, 40, 90, 0, false)...)
+	wide = append(wide, fuzzEvent(20, 40, 1, 0, true)...)
 	return []entry{
 		{"empty-trace", []any{[]byte{3, 1, 40, 0}, int64(10)}},
 		{"one-event", []any{append([]byte{2, 1, 64, 0},
-			0, 0, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 4, 0), int64(7)}},
+			fuzzEvent(0, 8, 0, 0, false)...), int64(7)}},
 		{"giant-window", []any{[]byte{5, 2, 100, 0}, int64(math.MaxInt64)}},
-		{"overflow-event", []any{append(overflow, ev[:]...), int64(16)}},
+		// A raw-form event whose Start+Len overflows int64: the
+		// regression input for the Validate overflow bug.
+		{"overflow-event", []any{append([]byte{2, 1, 64, 0},
+			fuzzEvent(5, math.MaxInt64-2, 0, 0, false)...), int64(16)}},
+		{"coincident-endpoints", []any{coincident, int64(8)}},
+		{"window-aligned-ends", []any{aligned, int64(10)}},
+		{"all-receivers-active", []any{allActive, int64(16)}},
+		{"wide-bitset", []any{wide, int64(25)}},
 	}
 }
 

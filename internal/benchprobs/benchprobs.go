@@ -41,11 +41,79 @@ func Analysis8() *trace.Analysis {
 	return analysisN(8)
 }
 
+// TraceN returns the synthetic staggered-burst trace behind AnalysisN
+// without analyzing it, for callers that want to drive the analysis
+// kernels themselves (the adaptive-window equivalence tests, for one).
+func TraceN(n int) *trace.Trace {
+	return traceN(n)
+}
+
+// ScaledTrace builds a deterministic trace with exactly the given
+// receiver and event counts, for the analysis-kernel benchmarks
+// (cmd/analysisbench). Events are emitted in nondecreasing start order
+// — groups of four share a start cycle (coincident endpoints are the
+// common case in cycle-accurate traces) — with burst lengths that
+// overrun the inter-group stride, so at any instant several receivers
+// are busy and the pairwise overlap structure is non-trivial. The
+// horizon scales with the event count; window size is the caller's
+// choice (ScaledWindow gives the benchmark default of 256 windows).
+func ScaledTrace(receivers, events int) *trace.Trace {
+	const stride = 28 // cycles between group starts; bursts overrun it
+	rng := rand.New(rand.NewSource(int64(receivers)*1_000_003 + int64(events)))
+	maxLen := int64(0)
+	tr := &trace.Trace{
+		NumReceivers: receivers,
+		NumSenders:   4,
+		Events:       make([]trace.Event, events),
+	}
+	for k := 0; k < events; k++ {
+		start := int64(k/4) * stride
+		length := int64(9 + rng.Intn(24))
+		if length > maxLen {
+			maxLen = length
+		}
+		tr.Events[k] = trace.Event{
+			Start:    start,
+			Len:      length,
+			Sender:   k % 4,
+			Receiver: (k*13 + k/4) % receivers,
+			Critical: rng.Intn(8) == 0,
+		}
+	}
+	tr.Horizon = int64((events+3)/4)*stride + maxLen
+	if tr.Horizon == 0 {
+		tr.Horizon = 1
+	}
+	return tr
+}
+
+// ScaledWindow returns the analysis window size for a ScaledTrace:
+// fixed 500-cycle windows, the contention granularity of the paper's
+// methodology (windows a few bursts wide, so per-window overlap is
+// meaningful for bus binding). The window count therefore grows with
+// the trace horizon — ~14k windows at a million events — which is
+// exactly the regime where per-window table construction cost matters.
+func ScaledWindow(tr *trace.Trace) int64 {
+	ws := int64(500)
+	if ws > tr.Horizon {
+		ws = tr.Horizon
+	}
+	return ws
+}
+
 func analysisN(n int) *trace.Analysis {
-	const (
-		horizon = 4000
-		window  = 400
-	)
+	tr := traceN(n)
+	a, err := trace.Analyze(tr, analysisWindow)
+	if err != nil {
+		panic(fmt.Sprintf("benchprobs: %v", err))
+	}
+	return a
+}
+
+const analysisWindow = 400
+
+func traceN(n int) *trace.Trace {
+	const horizon = 4000
 	rng := rand.New(rand.NewSource(int64(n) * 7919))
 	tr := &trace.Trace{NumReceivers: n, NumSenders: 1, Horizon: horizon}
 	for r := 0; r < n; r++ {
@@ -65,9 +133,5 @@ func analysisN(n int) *trace.Analysis {
 			tr.Events = append(tr.Events, trace.Event{Start: s, Len: l, Receiver: r})
 		}
 	}
-	a, err := trace.Analyze(tr, window)
-	if err != nil {
-		panic(fmt.Sprintf("benchprobs: %v", err))
-	}
-	return a
+	return tr
 }

@@ -1,0 +1,146 @@
+package ds
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSparseAppendAt(t *testing.T) {
+	m := NewSparseInt64Matrix(3, 10)
+	m.Append(0, 2, 5)
+	m.Append(0, 2, 3) // same column accumulates
+	m.Append(0, 7, 1)
+	m.Append(2, 0, 9)
+	m.Append(1, 4, 0) // zero append is dropped
+
+	if got := m.At(0, 2); got != 8 {
+		t.Errorf("At(0,2) = %d, want 8", got)
+	}
+	if got := m.At(0, 7); got != 1 {
+		t.Errorf("At(0,7) = %d, want 1", got)
+	}
+	if got := m.At(0, 3); got != 0 {
+		t.Errorf("At(0,3) = %d, want 0", got)
+	}
+	if got := m.At(1, 4); got != 0 {
+		t.Errorf("zero append stored: At(1,4) = %d", got)
+	}
+	if got := m.At(2, 0); got != 9 {
+		t.Errorf("At(2,0) = %d, want 9", got)
+	}
+	if got := m.NNZ(); got != 3 {
+		t.Errorf("NNZ = %d, want 3", got)
+	}
+	if got := m.RowSum(0); got != 9 {
+		t.Errorf("RowSum(0) = %d, want 9", got)
+	}
+	wantFill := 3.0 / 30.0
+	if got := m.FillRatio(); got != wantFill {
+		t.Errorf("FillRatio = %g, want %g", got, wantFill)
+	}
+}
+
+func TestSparseAppendOutOfOrderPanics(t *testing.T) {
+	m := NewSparseInt64Matrix(1, 10)
+	m.Append(0, 5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decreasing-column append did not panic")
+		}
+	}()
+	m.Append(0, 4, 1)
+}
+
+func TestSparseColumnRangePanics(t *testing.T) {
+	m := NewSparseInt64Matrix(1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range column did not panic")
+		}
+	}()
+	m.Append(0, 4, 1)
+}
+
+// TestSparseCompactCanonical: two matrices with the same content but
+// different build histories (different interleavings, accumulation
+// patterns, arena states) are deeply equal after Compact.
+func TestSparseCompactCanonical(t *testing.T) {
+	a := NewSparseInt64Matrix(4, 100)
+	b := NewSparseInt64Matrix(4, 100)
+
+	// a: row-major bulk fill; b: interleaved with accumulation.
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 100; c += 3 {
+			a.Append(r, c, int64(r*1000+c+7))
+		}
+	}
+	for c := 0; c < 100; c += 3 {
+		for r := 0; r < 4; r++ {
+			b.Append(r, c, int64(r*1000+c+6))
+			b.Append(r, c, 1)
+		}
+	}
+	a.Compact()
+	b.Compact()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal-content matrices differ after Compact")
+	}
+
+	// Content survives compaction.
+	if got := a.At(2, 99); got != 2106 {
+		t.Errorf("At(2,99) = %d, want 2106", got)
+	}
+	if got := a.At(2, 98); got != 0 {
+		t.Errorf("At(2,98) = %d, want 0", got)
+	}
+}
+
+func TestSparseGrowthAcrossArenaBlocks(t *testing.T) {
+	// Grow many rows in parallel so rows repeatedly relocate across
+	// arena blocks; every stored value must survive.
+	const rows, cols = 64, 5000
+	m := NewSparseInt64Matrix(rows, cols)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			m.Append(r, c, int64(r+1)*int64(c+1))
+		}
+	}
+	m.Compact()
+	if m.NNZ() != rows*cols {
+		t.Fatalf("NNZ = %d, want %d", m.NNZ(), rows*cols)
+	}
+	for _, rc := range [][2]int{{0, 0}, {63, 4999}, {17, 2500}, {40, 1}} {
+		want := int64(rc[0]+1) * int64(rc[1]+1)
+		if got := m.At(rc[0], rc[1]); got != want {
+			t.Errorf("At(%d,%d) = %d, want %d", rc[0], rc[1], got, want)
+		}
+	}
+}
+
+func TestSparseClone(t *testing.T) {
+	m := NewSparseInt64Matrix(2, 8)
+	m.Append(0, 1, 3)
+	m.Append(1, 7, 4)
+	cl := m.Clone()
+	m.Append(1, 7, 10)
+	if got := cl.At(1, 7); got != 4 {
+		t.Errorf("clone mutated: At(1,7) = %d, want 4", got)
+	}
+	if cl.NNZ() != 2 {
+		t.Errorf("clone NNZ = %d, want 2", cl.NNZ())
+	}
+}
+
+func TestSparseEmptyShapes(t *testing.T) {
+	m := NewSparseInt64Matrix(0, 5)
+	if m.FillRatio() != 0 || m.NNZ() != 0 {
+		t.Error("empty matrix not empty")
+	}
+	m.Compact()
+	n := NewSparseInt64Matrix(3, 0)
+	n.Compact()
+	if n.At(2, 0) != 0 {
+		// At on a zero-column matrix is out of contract, but rows exist.
+		t.Error("unexpected value in zero-column matrix")
+	}
+}

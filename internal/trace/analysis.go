@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/conc"
 	"repro/internal/ds"
@@ -31,14 +32,24 @@ type Analysis struct {
 	// CritComm[i][m] is the same restricted to critical transfers.
 	CritComm *ds.Int64Matrix
 	// Overlap holds, for every unordered receiver pair (i,j), the
-	// per-window overlap wo_{i,j,m}: Overlap[pairIndex(i,j)][m].
-	Overlap *ds.Int64Matrix
+	// per-window overlap wo_{i,j,m}: Overlap[pairIndex(i,j)][m]. Rows
+	// store only the nonzero windows (most pairs overlap rarely, if at
+	// all, in realistic workloads); use the PairOverlap accessors
+	// rather than indexing the matrix directly.
+	Overlap *ds.SparseInt64Matrix
 	// CritOverlap is the per-window overlap restricted to cycles where
-	// both receivers carry critical traffic.
-	CritOverlap *ds.Int64Matrix
+	// both receivers carry critical traffic, stored sparsely like
+	// Overlap.
+	CritOverlap *ds.SparseInt64Matrix
 	// OM is the aggregate overlap matrix om_{i,j} = Σ_m wo_{i,j,m}
 	// (paper Eq. 1).
 	OM *ds.SymMatrix
+
+	// mwl memoizes MaxWindowLoad (0 = not yet computed; the result is
+	// always ≥ 1). Atomic so concurrent design probes sharing one
+	// analysis may race benignly: every computation yields the same
+	// value.
+	mwl atomic.Int64
 }
 
 // NumWindows returns the number of analysis windows.
@@ -128,29 +139,33 @@ func (a *Analysis) PairCritOverlapChecked(i, j, m int) (int64, error) {
 	return a.CritOverlap.At(a.PairIndex(i, j), m), nil
 }
 
-// Analyze divides the trace into fixed-size windows of ws cycles (the
-// last window may be shorter if the horizon is not a multiple) and
-// computes the per-window traffic characteristics.
-func Analyze(tr *Trace, ws int64) (*Analysis, error) {
-	return AnalyzeCtx(context.Background(), tr, ws)
+// newAnalysis allocates the output tables for nT receivers and the
+// given window edges.
+func newAnalysis(nT int, boundaries []int64) *Analysis {
+	nW := len(boundaries) - 1
+	nPairs := nT * (nT - 1) / 2
+	return &Analysis{
+		NumReceivers: nT,
+		Boundaries:   boundaries,
+		Comm:         ds.NewInt64Matrix(nT, nW),
+		CritComm:     ds.NewInt64Matrix(nT, nW),
+		Overlap:      ds.NewSparseInt64Matrix(nPairs, nW),
+		CritOverlap:  ds.NewSparseInt64Matrix(nPairs, nW),
+		OM:           ds.NewSymMatrix(nT),
+	}
 }
 
-// AnalyzeCtx is Analyze with cooperative cancellation and parallel
-// per-receiver/per-pair computation (sharded over GOMAXPROCS workers).
-// The result is identical to the serial analysis: every shard writes
-// disjoint rows of the output matrices.
-func AnalyzeCtx(ctx context.Context, tr *Trace, ws int64) (*Analysis, error) {
+// windowBoundaries builds the fixed-size window edges for a horizon:
+// windows of ws cycles, the last truncated to the horizon.
+func windowBoundaries(horizon, ws int64) ([]int64, error) {
 	if ws <= 0 {
 		return nil, errors.New("trace: window size must be positive")
-	}
-	if err := tr.Validate(); err != nil {
-		return nil, err
 	}
 	// Divide before rounding: the textbook (Horizon+ws-1)/ws ceiling
 	// overflows int64 for a window size near MaxInt64 and ends up
 	// asking for a negative number of windows.
-	numWindows64 := tr.Horizon / ws
-	if tr.Horizon%ws != 0 {
+	numWindows64 := horizon / ws
+	if horizon%ws != 0 {
 		numWindows64++
 	}
 	if numWindows64 > maxWindows {
@@ -160,12 +175,53 @@ func AnalyzeCtx(ctx context.Context, tr *Trace, ws int64) (*Analysis, error) {
 	boundaries := make([]int64, numWindows+1)
 	for m := 0; m <= numWindows; m++ {
 		b := int64(m) * ws
-		if b > tr.Horizon {
-			b = tr.Horizon
+		if b > horizon {
+			b = horizon
 		}
 		boundaries[m] = b
 	}
-	return AnalyzeWithBoundariesCtx(ctx, tr, boundaries)
+	return boundaries, nil
+}
+
+// validateBoundaries checks explicit window edges against a horizon.
+func validateBoundaries(horizon int64, boundaries []int64) error {
+	if len(boundaries) < 2 {
+		return errors.New("trace: need at least one window")
+	}
+	if boundaries[0] != 0 {
+		return errors.New("trace: first boundary must be 0")
+	}
+	if boundaries[len(boundaries)-1] != horizon {
+		return fmt.Errorf("trace: last boundary %d must equal horizon %d", boundaries[len(boundaries)-1], horizon)
+	}
+	for m := 1; m < len(boundaries); m++ {
+		if boundaries[m] <= boundaries[m-1] {
+			return errors.New("trace: boundaries must be strictly increasing")
+		}
+	}
+	return nil
+}
+
+// Analyze divides the trace into fixed-size windows of ws cycles (the
+// last window may be shorter if the horizon is not a multiple) and
+// computes the per-window traffic characteristics.
+func Analyze(tr *Trace, ws int64) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), tr, ws)
+}
+
+// AnalyzeCtx is Analyze with cooperative cancellation. It runs the
+// single-pass sweep-line kernel (see sweep.go); the result is
+// bit-identical to the retained legacy pairwise algorithm
+// (AnalyzeLegacyCtx), which the differential harness asserts.
+func AnalyzeCtx(ctx context.Context, tr *Trace, ws int64) (*Analysis, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	boundaries, err := windowBoundaries(tr.Horizon, ws)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeSweep(ctx, tr, boundaries)
 }
 
 // AnalyzeWithBoundaries performs the window analysis with explicit
@@ -176,56 +232,80 @@ func AnalyzeWithBoundaries(tr *Trace, boundaries []int64) (*Analysis, error) {
 	return AnalyzeWithBoundariesCtx(context.Background(), tr, boundaries)
 }
 
-// AnalyzeWithBoundariesCtx is AnalyzeWithBoundaries with cancellation
-// and parallel computation of the per-window matrices.
+// AnalyzeWithBoundariesCtx is AnalyzeWithBoundaries with cancellation.
 func AnalyzeWithBoundariesCtx(ctx context.Context, tr *Trace, boundaries []int64) (*Analysis, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
-	if len(boundaries) < 2 {
-		return nil, errors.New("trace: need at least one window")
+	if err := validateBoundaries(tr.Horizon, boundaries); err != nil {
+		return nil, err
 	}
-	if boundaries[0] != 0 {
-		return nil, errors.New("trace: first boundary must be 0")
-	}
-	if boundaries[len(boundaries)-1] != tr.Horizon {
-		return nil, fmt.Errorf("trace: last boundary %d must equal horizon %d", boundaries[len(boundaries)-1], tr.Horizon)
-	}
-	for m := 1; m < len(boundaries); m++ {
-		if boundaries[m] <= boundaries[m-1] {
-			return nil, errors.New("trace: boundaries must be strictly increasing")
-		}
-	}
+	return analyzeSweep(ctx, tr, boundaries)
+}
 
+// AnalyzeLegacy is Analyze on the original pairwise-intersection
+// algorithm (O(R²) allocated interval-set intersections). It is
+// retained as the oracle for the differential harness and the
+// before/after benchmark baseline; new code should use Analyze.
+func AnalyzeLegacy(tr *Trace, ws int64) (*Analysis, error) {
+	return AnalyzeLegacyCtx(context.Background(), tr, ws)
+}
+
+// AnalyzeLegacyCtx is AnalyzeLegacy with cancellation and parallel
+// per-receiver/per-pair computation (sharded over GOMAXPROCS workers).
+func AnalyzeLegacyCtx(ctx context.Context, tr *Trace, ws int64) (*Analysis, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	boundaries, err := windowBoundaries(tr.Horizon, ws)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeLegacy(ctx, tr, boundaries)
+}
+
+// AnalyzeLegacyWithBoundariesCtx is the explicit-boundary form of the
+// legacy kernel.
+func AnalyzeLegacyWithBoundariesCtx(ctx context.Context, tr *Trace, boundaries []int64) (*Analysis, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateBoundaries(tr.Horizon, boundaries); err != nil {
+		return nil, err
+	}
+	return analyzeLegacy(ctx, tr, boundaries)
+}
+
+// analyzeLegacy computes the analysis by intersecting every receiver
+// pair's interval sets — the original algorithm, kept bit-compatible
+// with the sweep kernel. The per-window computation is sharded by
+// receiver: shard i fills Comm row i and the Overlap/CritOverlap/OM
+// entries of every pair (i, j) with j > i. Shards only read the shared
+// interval sets and write disjoint matrix slots, so the parallel
+// result is bit-identical to the serial one.
+func analyzeLegacy(ctx context.Context, tr *Trace, boundaries []int64) (*Analysis, error) {
 	nT := tr.NumReceivers
 	nW := len(boundaries) - 1
-	nPairs := nT * (nT - 1) / 2
 
 	ctx, span := obs.Start(ctx, "trace.analyze")
 	defer span.End()
+	span.SetStr("kernel", "legacy")
 	span.SetInt("receivers", int64(nT))
 	span.SetInt("windows", int64(nW))
 	span.SetInt("events", int64(len(tr.Events)))
 	metAnalyses.Inc()
 	metWindows.Add(int64(nW))
 
-	a := &Analysis{
-		NumReceivers: nT,
-		Boundaries:   boundaries,
-		Comm:         ds.NewInt64Matrix(nT, nW),
-		CritComm:     ds.NewInt64Matrix(nT, nW),
-		Overlap:      ds.NewInt64Matrix(nPairs, nW),
-		CritOverlap:  ds.NewInt64Matrix(nPairs, nW),
-		OM:           ds.NewSymMatrix(nT),
-	}
-
+	a := newAnalysis(nT, boundaries)
 	busy, critical := tr.busyByReceiver()
 
-	// Shard the per-window computation by receiver: shard i fills Comm
-	// row i and the Overlap/CritOverlap/OM entries of every pair (i, j)
-	// with j > i. Shards only read the shared interval sets and write
-	// disjoint matrix slots, so the parallel result is bit-identical to
-	// the serial one.
+	// The sparse overlap rows are not safe for concurrent appends to
+	// *different* rows (they share the build arena), so the pair rows
+	// are buffered densely per shard and appended serially after the
+	// parallel phase.
+	overlapRows := make([][]int64, a.Overlap.Rows)
+	critRows := make([][]int64, a.Overlap.Rows)
+
 	err := conc.ForEach(ctx, nT, 0, func(ctx context.Context, i int) error {
 		for m := 0; m < nW; m++ {
 			a.Comm.Set(i, m, busy[i].ClipLen(boundaries[m], boundaries[m+1]))
@@ -235,13 +315,16 @@ func AnalyzeWithBoundariesCtx(ctx context.Context, tr *Trace, boundaries []int64
 			inter := busy[i].Intersection(busy[j])
 			critInter := critical[i].Intersection(critical[j])
 			row := a.PairIndex(i, j)
+			ov := make([]int64, nW)
+			cv := make([]int64, nW)
 			var total int64
 			for m := 0; m < nW; m++ {
-				ov := inter.ClipLen(boundaries[m], boundaries[m+1])
-				a.Overlap.Set(row, m, ov)
-				total += ov
-				a.CritOverlap.Set(row, m, critInter.ClipLen(boundaries[m], boundaries[m+1]))
+				ov[m] = inter.ClipLen(boundaries[m], boundaries[m+1])
+				total += ov[m]
+				cv[m] = critInter.ClipLen(boundaries[m], boundaries[m+1])
 			}
+			overlapRows[row] = ov
+			critRows[row] = cv
 			if total > 0 {
 				a.OM.Set(i, j, total)
 			}
@@ -251,26 +334,45 @@ func AnalyzeWithBoundariesCtx(ctx context.Context, tr *Trace, boundaries []int64
 	if err != nil {
 		return nil, fmt.Errorf("trace: analysis canceled: %w", err)
 	}
+	for row := range overlapRows {
+		for m, v := range overlapRows[row] {
+			a.Overlap.Append(row, m, v)
+		}
+		for m, v := range critRows[row] {
+			a.CritOverlap.Append(row, m, v)
+		}
+	}
+	a.Overlap.Compact()
+	a.CritOverlap.Compact()
 	return a, nil
 }
 
 // MaxWindowLoad returns, over all windows, the maximum of the summed
 // receiver loads divided into the window length — i.e. the peak number
 // of fully-loaded buses any single window demands. It is a lower bound
-// on the feasible bus count (used to seed the binary search).
+// on the feasible bus count (used to seed the binary search, which
+// calls it repeatedly), so the result is computed once — in a single
+// pass over the dense Comm rows — and memoized.
 func (a *Analysis) MaxWindowLoad() int {
-	best := 1
-	for m := 0; m < a.NumWindows(); m++ {
-		var sum int64
-		for i := 0; i < a.NumReceivers; i++ {
-			sum += a.Comm.At(i, m)
+	if v := a.mwl.Load(); v > 0 {
+		return int(v)
+	}
+	nW := a.NumWindows()
+	sums := make([]int64, nW)
+	for i := 0; i < a.NumReceivers; i++ {
+		row := a.Comm.Row(i)
+		for m, v := range row {
+			sums[m] += v
 		}
+	}
+	best := 1
+	for m, sum := range sums {
 		wl := a.WindowLen(m)
-		need := int((sum + wl - 1) / wl)
-		if need > best {
+		if need := int((sum + wl - 1) / wl); need > best {
 			best = need
 		}
 	}
+	a.mwl.Store(int64(best))
 	return best
 }
 

@@ -1,0 +1,105 @@
+package trace
+
+import "fmt"
+
+// diffLimit caps the number of mismatches DiffAnalyses reports so a
+// systematically wrong kernel produces a readable failure, not megabytes.
+const diffLimit = 20
+
+// DiffAnalyses compares every exported quantity of two analyses and
+// returns a human-readable description of each mismatch (empty when the
+// analyses are identical). It is the equivalence check used by the
+// differential harness and the fuzz oracle to pin the sweep kernel, the
+// legacy pairwise kernel and the streaming reader to bit-identical
+// outputs; for the sparse overlap tables it compares the stored cell
+// structure, not just values, so a kernel that stores explicit zeros
+// where another stores nothing is caught too.
+func DiffAnalyses(a, b *Analysis) []string {
+	var diffs []string
+	add := func(format string, args ...any) bool {
+		if len(diffs) < diffLimit {
+			diffs = append(diffs, fmt.Sprintf(format, args...))
+		} else if len(diffs) == diffLimit {
+			diffs = append(diffs, "... further mismatches suppressed")
+		}
+		return len(diffs) <= diffLimit
+	}
+
+	if a.NumReceivers != b.NumReceivers {
+		add("NumReceivers: %d vs %d", a.NumReceivers, b.NumReceivers)
+		return diffs
+	}
+	if len(a.Boundaries) != len(b.Boundaries) {
+		add("NumWindows: %d vs %d", a.NumWindows(), b.NumWindows())
+		return diffs
+	}
+	for m := range a.Boundaries {
+		if a.Boundaries[m] != b.Boundaries[m] {
+			if !add("Boundaries[%d]: %d vs %d", m, a.Boundaries[m], b.Boundaries[m]) {
+				return diffs
+			}
+		}
+	}
+
+	nT, nW := a.NumReceivers, a.NumWindows()
+	for i := 0; i < nT; i++ {
+		for m := 0; m < nW; m++ {
+			if x, y := a.Comm.At(i, m), b.Comm.At(i, m); x != y {
+				if !add("Comm[%d][%d]: %d vs %d", i, m, x, y) {
+					return diffs
+				}
+			}
+			if x, y := a.CritComm.At(i, m), b.CritComm.At(i, m); x != y {
+				if !add("CritComm[%d][%d]: %d vs %d", i, m, x, y) {
+					return diffs
+				}
+			}
+		}
+	}
+
+	if !diffSparse(add, "Overlap", a, b, true) {
+		return diffs
+	}
+	if !diffSparse(add, "CritOverlap", a, b, false) {
+		return diffs
+	}
+
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if x, y := a.OM.At(i, j), b.OM.At(i, j); x != y {
+				if !add("OM[%d][%d]: %d vs %d", i, j, x, y) {
+					return diffs
+				}
+			}
+		}
+	}
+	return diffs
+}
+
+// diffSparse compares the stored cells of one sparse overlap table.
+func diffSparse(add func(string, ...any) bool, name string, a, b *Analysis, main bool) bool {
+	am, bm := a.Overlap, b.Overlap
+	if !main {
+		am, bm = a.CritOverlap, b.CritOverlap
+	}
+	if am.Rows != bm.Rows || am.Cols != bm.Cols {
+		return add("%s shape: %dx%d vs %dx%d", name, am.Rows, am.Cols, bm.Rows, bm.Cols)
+	}
+	for r := 0; r < am.Rows; r++ {
+		x, y := am.RowCells(r), bm.RowCells(r)
+		if len(x) != len(y) {
+			if !add("%s row %d: %d cells vs %d cells", name, r, len(x), len(y)) {
+				return false
+			}
+			continue
+		}
+		for k := range x {
+			if x[k] != y[k] {
+				if !add("%s row %d cell %d: (col %d, %d) vs (col %d, %d)", name, r, k, x[k].Col, x[k].Val, y[k].Col, y[k].Val) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -63,55 +63,74 @@ func WriteBinary(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a trace written by WriteBinary.
-func ReadBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+// binaryEventSize is the wire size of one event record.
+const binaryEventSize = 25
+
+// binHeader is the parsed fixed-size header of a binary trace.
+type binHeader struct {
+	numReceivers uint32
+	numSenders   uint32
+	horizon      int64
+	numEvents    uint64
+}
+
+// readBinaryHeader parses and sanity-checks the magic and header of a
+// binary trace stream. It is shared by ReadBinary and the streaming
+// AnalyzeReader so both enforce the same bounds against corrupt or
+// hostile headers.
+func readBinaryHeader(br *bufio.Reader) (binHeader, error) {
+	var hdr binHeader
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return hdr, fmt.Errorf("trace: reading magic: %w", err)
 	}
 	if magic != binaryMagic {
-		return nil, errors.New("trace: bad magic, not a binary trace file")
+		return hdr, errors.New("trace: bad magic, not a binary trace file")
 	}
-	var version, numReceivers, numSenders uint32
-	var horizon, numEvents uint64
-	for _, p := range []any{&version, &numReceivers, &numSenders, &horizon, &numEvents} {
+	var version uint32
+	var horizon uint64
+	for _, p := range []any{&version, &hdr.numReceivers, &hdr.numSenders, &horizon, &hdr.numEvents} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("trace: reading header: %w", err)
+			return hdr, fmt.Errorf("trace: reading header: %w", err)
 		}
 	}
 	if version != binaryVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", version)
-	}
-	const maxEvents = 1 << 28 // sanity bound against corrupt headers
-	if numEvents > maxEvents {
-		return nil, fmt.Errorf("trace: implausible event count %d", numEvents)
+		return hdr, fmt.Errorf("trace: unsupported version %d", version)
 	}
 	const maxCores = 1 << 20 // far beyond the STbus limit of 32
-	if numReceivers > maxCores || numSenders > maxCores {
-		return nil, fmt.Errorf("trace: implausible core counts (%d receivers, %d senders)", numReceivers, numSenders)
+	if hdr.numReceivers > maxCores || hdr.numSenders > maxCores {
+		return hdr, fmt.Errorf("trace: implausible core counts (%d receivers, %d senders)", hdr.numReceivers, hdr.numSenders)
+	}
+	hdr.horizon = int64(horizon)
+	return hdr, nil
+}
+
+// ReadBinary parses a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	hdr, err := readBinaryHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxEvents = 1 << 28 // sanity bound against corrupt headers
+	if hdr.numEvents > maxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", hdr.numEvents)
 	}
 	tr := &Trace{
-		NumReceivers: int(numReceivers),
-		NumSenders:   int(numSenders),
-		Horizon:      int64(horizon),
+		NumReceivers: int(hdr.numReceivers),
+		NumSenders:   int(hdr.numSenders),
+		Horizon:      hdr.horizon,
 		// Grow the slice as events are read instead of trusting the
 		// header: a corrupt count below maxEvents would otherwise
 		// commit gigabytes before the first short read is noticed.
-		Events: make([]Event, 0, min(numEvents, 1<<16)),
+		Events: make([]Event, 0, min(hdr.numEvents, 1<<16)),
 	}
-	var buf [25]byte
-	for i := uint64(0); i < numEvents; i++ {
+	var buf [binaryEventSize]byte
+	for i := uint64(0); i < hdr.numEvents; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
 		}
-		tr.Events = append(tr.Events, Event{
-			Start:    int64(binary.LittleEndian.Uint64(buf[0:])),
-			Len:      int64(binary.LittleEndian.Uint64(buf[8:])),
-			Sender:   int(binary.LittleEndian.Uint32(buf[16:])),
-			Receiver: int(binary.LittleEndian.Uint32(buf[20:])),
-			Critical: buf[24] != 0,
-		})
+		tr.Events = append(tr.Events, decodeBinaryEvent(&buf))
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err

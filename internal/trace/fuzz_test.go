@@ -2,29 +2,34 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"math"
 	"reflect"
+	"sort"
+	"strings"
 	"testing"
 )
 
-// decodeFuzzTrace builds a trace from raw fuzz bytes. Event fields are
-// taken in one of two forms, selected per event by a flag bit: reduced
-// modulo the horizon (so mutations usually stay structurally valid and
-// reach the analysis code) or raw int64 (so mutations can attack
-// Validate itself with extreme values — that form found the
-// Start+Len overflow). Callers must still run Validate.
+// decodeFuzzTrace builds a trace from raw fuzz bytes. The receiver
+// count ranges up to 96 so fuzz inputs cross the sweep kernel's 64-bit
+// active-bitset word boundary. Event fields are taken in one of two
+// forms, selected per event by a flag bit: reduced modulo the horizon
+// (so mutations usually stay structurally valid and reach the analysis
+// code) or raw int64 (so mutations can attack Validate itself with
+// extreme values — that form found the Start+Len overflow). Callers
+// must still run Validate.
 func decodeFuzzTrace(data []byte) *Trace {
 	if len(data) < 4 {
 		return nil
 	}
 	tr := &Trace{
-		NumReceivers: 1 + int(data[0]%12),
+		NumReceivers: 1 + int(data[0]%96),
 		NumSenders:   1 + int(data[1]%4),
 		Horizon:      1 + int64(binary.LittleEndian.Uint16(data[2:4]))%4096,
 	}
 	data = data[4:]
-	const evBytes = 18
+	const evBytes = 19
 	for len(data) >= evBytes && len(tr.Events) < 64 {
 		start := int64(binary.LittleEndian.Uint64(data[0:8]))
 		length := int64(binary.LittleEndian.Uint64(data[8:16]))
@@ -38,7 +43,7 @@ func decodeFuzzTrace(data []byte) *Trace {
 			Start:    start,
 			Len:      length,
 			Sender:   int(data[17]) % tr.NumSenders,
-			Receiver: int(data[16]>>2) % tr.NumReceivers,
+			Receiver: int(data[18]) % tr.NumReceivers,
 			Critical: data[16]&1 != 0,
 		})
 		data = data[evBytes:]
@@ -46,25 +51,65 @@ func decodeFuzzTrace(data []byte) *Trace {
 	return tr
 }
 
+// fuzzEvent encodes one decodeFuzzTrace event record in the raw form
+// (start and length taken verbatim), used to build precise seeds.
+func fuzzEvent(start, length int64, recv, sender byte, critical bool) []byte {
+	var ev [19]byte
+	binary.LittleEndian.PutUint64(ev[0:8], uint64(start))
+	binary.LittleEndian.PutUint64(ev[8:16], uint64(length))
+	ev[16] = 2 // raw form
+	if critical {
+		ev[16] |= 1
+	}
+	ev[17] = sender
+	ev[18] = recv
+	return ev[:]
+}
+
 // FuzzAnalyze feeds arbitrary traces and window sizes through the
-// window analysis and cross-checks the result against a brute-force
-// per-cycle oracle: every Comm entry, every pairwise overlap and the
-// aggregate OM must match counts over an explicit busy-cycle bitmap.
+// window analysis and cross-checks the result three ways: against a
+// brute-force per-cycle oracle over the receivers that actually carry
+// traffic (every Comm entry, pairwise overlap and OM entry must match
+// counts over an explicit busy-cycle bitmap), against the retained
+// legacy pairwise kernel, and against the streaming reader fed the
+// binary encoding of the same trace — all three must be bit-identical.
 func FuzzAnalyze(f *testing.F) {
 	f.Add([]byte{3, 1, 40, 0}, int64(10))
 	f.Add(append([]byte{2, 1, 64, 0},
-		0, 0, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 0, 0, 0, 0, 4, 0), int64(7))
+		fuzzEvent(0, 8, 0, 0, false)...), int64(7))
 	// Window size far beyond the horizon (single short window).
 	f.Add([]byte{5, 2, 100, 0}, int64(math.MaxInt64))
 	// Regression: a raw-form event whose Start+Len overflows int64 —
 	// before the Validate fix it passed validation and corrupted the
 	// interval sets.
-	overflow := []byte{2, 1, 64, 0}
-	var ev [18]byte
-	binary.LittleEndian.PutUint64(ev[0:8], 5)
-	binary.LittleEndian.PutUint64(ev[8:16], uint64(math.MaxInt64-2))
-	ev[16] = 2 // raw form
-	f.Add(append(overflow, ev[:]...), int64(16))
+	f.Add(append([]byte{2, 1, 64, 0},
+		fuzzEvent(5, math.MaxInt64-2, 0, 0, false)...), int64(16))
+	// Coincident endpoints: two receivers covering the same interval and
+	// a third starting exactly where they end, which is also a window
+	// boundary — the sweep's deactivation order is arbitrary among them.
+	coincident := []byte{2, 0, 64, 0}
+	coincident = append(coincident, fuzzEvent(8, 8, 0, 0, true)...)
+	coincident = append(coincident, fuzzEvent(8, 8, 1, 0, false)...)
+	coincident = append(coincident, fuzzEvent(16, 8, 2, 0, true)...)
+	f.Add(coincident, int64(8))
+	// Coverage ends flush with window boundaries (no partial windows).
+	aligned := []byte{2, 0, 100, 0}
+	aligned = append(aligned, fuzzEvent(10, 10, 0, 0, false)...)
+	aligned = append(aligned, fuzzEvent(20, 10, 1, 0, true)...)
+	aligned = append(aligned, fuzzEvent(10, 20, 2, 0, false)...)
+	f.Add(aligned, int64(10))
+	// All receivers simultaneously active (maximum pair fan-out).
+	allActive := []byte{7, 0, 64, 0}
+	for r := byte(0); r < 8; r++ {
+		allActive = append(allActive, fuzzEvent(int64(r), 32, r, 0, r%2 == 0)...)
+	}
+	f.Add(allActive, int64(16))
+	// Receivers above 64: the active bitset spans two words.
+	wide := []byte{95, 0, 200, 0}
+	wide = append(wide, fuzzEvent(0, 40, 70, 0, true)...)
+	wide = append(wide, fuzzEvent(10, 40, 90, 0, false)...)
+	wide = append(wide, fuzzEvent(20, 40, 1, 0, true)...)
+	f.Add(wide, int64(25))
 
 	f.Fuzz(func(t *testing.T, data []byte, ws int64) {
 		tr := decodeFuzzTrace(data)
@@ -96,10 +141,44 @@ func FuzzAnalyze(f *testing.F) {
 			}
 		}
 
-		// Brute-force oracle: explicit busy bitmaps per receiver.
-		busy := make([][]bool, tr.NumReceivers)
-		for i := range busy {
-			busy[i] = make([]bool, tr.Horizon)
+		// Cross-kernel equivalence. The legacy kernel buffers every pair
+		// row densely, so it is gated on the table area staying sane;
+		// the streaming reader costs the same as the sweep and always
+		// runs (on a start-sorted copy — order must not matter).
+		nPairs := tr.NumReceivers * (tr.NumReceivers - 1) / 2
+		if nPairs*nW <= 1<<22 {
+			legacy, err := AnalyzeLegacy(tr, ws)
+			if err != nil {
+				t.Fatalf("AnalyzeLegacy rejected a valid trace: %v", err)
+			}
+			if diffs := DiffAnalyses(a, legacy); len(diffs) > 0 {
+				t.Fatalf("sweep vs legacy:\n%s", strings.Join(diffs, "\n"))
+			}
+		}
+		sorted := sortedCopy(tr)
+		streamed, err := AnalyzeReader(context.Background(), bytes.NewReader(encodeTrace(t, sorted)), ws)
+		if err != nil {
+			t.Fatalf("AnalyzeReader rejected a valid stream: %v", err)
+		}
+		if diffs := DiffAnalyses(a, streamed); len(diffs) > 0 {
+			t.Fatalf("sweep vs stream:\n%s", strings.Join(diffs, "\n"))
+		}
+
+		// Brute-force oracle: explicit busy bitmaps, restricted to
+		// receivers that appear in events (idle receivers cannot be
+		// credited — the cross-kernel check above covers their rows).
+		activeSet := map[int]bool{}
+		for _, e := range tr.Events {
+			activeSet[e.Receiver] = true
+		}
+		active := make([]int, 0, len(activeSet))
+		for r := range activeSet {
+			active = append(active, r)
+		}
+		sort.Ints(active)
+		busy := make(map[int][]bool, len(active))
+		for _, r := range active {
+			busy[r] = make([]bool, tr.Horizon)
 		}
 		for _, e := range tr.Events {
 			for c := e.Start; c < e.End(); c++ {
@@ -115,14 +194,14 @@ func FuzzAnalyze(f *testing.F) {
 			}
 			return n
 		}
-		for i := 0; i < tr.NumReceivers; i++ {
+		for ii, i := range active {
 			for m := 0; m < nW; m++ {
 				want := countIn(busy[i], a.Boundaries[m], a.Boundaries[m+1])
 				if got := a.Comm.At(i, m); got != want {
 					t.Fatalf("Comm(%d,%d) = %d, oracle %d", i, m, got, want)
 				}
 			}
-			for j := i + 1; j < tr.NumReceivers; j++ {
+			for _, j := range active[ii+1:] {
 				both := make([]bool, tr.Horizon)
 				for c := int64(0); c < tr.Horizon; c++ {
 					both[c] = busy[i][c] && busy[j][c]

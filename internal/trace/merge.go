@@ -44,8 +44,8 @@ func MergeAnalyses(analyses ...*Analysis) (*Analysis, error) {
 		OM:           analyses[0].OM.Clone(),
 	}
 	nPairs := nT * (nT - 1) / 2
-	merged.Overlap = concatRows(nPairs, totalWindows, analyses, func(a *Analysis) matrixView { return a.Overlap.At })
-	merged.CritOverlap = concatRows(nPairs, totalWindows, analyses, func(a *Analysis) matrixView { return a.CritOverlap.At })
+	merged.Overlap = concatSparseRows(nPairs, totalWindows, analyses, func(a *Analysis) *ds.SparseInt64Matrix { return a.Overlap })
+	merged.CritOverlap = concatSparseRows(nPairs, totalWindows, analyses, func(a *Analysis) *ds.SparseInt64Matrix { return a.CritOverlap })
 
 	// Concatenated timeline boundaries.
 	offset := int64(0)
@@ -84,5 +84,23 @@ func concatRows(rows, totalWindows int, analyses []*Analysis, view func(*Analysi
 			col++
 		}
 	}
+	return out
+}
+
+// concatSparseRows concatenates the scenarios' sparse per-window rows
+// along the window axis. Iterating rows outer and scenarios inner keeps
+// columns nondecreasing within each output row, as Append requires.
+func concatSparseRows(rows, totalWindows int, analyses []*Analysis, view func(*Analysis) *ds.SparseInt64Matrix) *ds.SparseInt64Matrix {
+	out := ds.NewSparseInt64Matrix(rows, totalWindows)
+	for r := 0; r < rows; r++ {
+		col := 0
+		for _, a := range analyses {
+			for _, cell := range view(a).RowCells(r) {
+				out.Append(r, col+int(cell.Col), cell.Val)
+			}
+			col += a.NumWindows()
+		}
+	}
+	out.Compact()
 	return out
 }
