@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/benchprobs"
+	"repro/internal/cli"
 	"repro/internal/trace"
 )
 
@@ -61,14 +62,7 @@ var (
 	full  = flag.Bool("full", false, "include the 10M-event cases")
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("analysisbench: ")
-	flag.Parse()
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("analysisbench", run) }
 
 // benchCase times one kernel configuration under testing.Benchmark.
 func benchCase(name, config string, tr *trace.Trace, nW int, fn func() error) caseResult {
@@ -92,8 +86,7 @@ func benchCase(name, config string, tr *trace.Trace, nW int, fn func() error) ca
 	}
 }
 
-func run() error {
-	ctx := context.Background()
+func run(ctx context.Context) error {
 
 	receiverCounts := []int{8, 16, 32, 64}
 	eventCounts := []int{10_000, 100_000, 1_000_000}

@@ -11,10 +11,9 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"strings"
 
 	"repro/internal/cli"
@@ -24,33 +23,11 @@ import (
 var (
 	runList = flag.String("run", "all", "comma-separated: table1, table2, fig4, fig5a, fig5b, fig6, binding, realtime, cost, adaptive, robustness, multiuse, or all")
 	seed    = flag.Int64("seed", experiments.Seed, "workload seed")
-	timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
-	flag.Parse()
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("experiments", run) }
 
-func run() (err error) {
-	ctx, stop := cli.Context(*timeout)
-	defer stop()
-
-	stopProf, err := cli.StartProfiling()
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopProf()) }()
-
-	ctx, stopObs, err := cli.StartObs(ctx)
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopObs()) }()
+func run(ctx context.Context) (err error) {
 
 	selected := map[string]bool{}
 	for _, name := range strings.Split(*runList, ",") {

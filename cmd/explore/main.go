@@ -11,10 +11,9 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"strings"
 
 	"repro/internal/cli"
@@ -26,33 +25,11 @@ var (
 	appName = flag.String("app", "mat2", "application: mat1, mat2, fft, qsort, des, synth")
 	seed    = flag.Int64("seed", 1, "workload seed")
 	burst   = flag.Int64("burst", 1000, "nominal burst length for -app synth")
-	timeout = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("explore: ")
-	flag.Parse()
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("explore", run) }
 
-func run() (err error) {
-	ctx, stop := cli.Context(*timeout)
-	defer stop()
-
-	stopProf, err := cli.StartProfiling()
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopProf()) }()
-
-	ctx, stopObs, err := cli.StartObs(ctx)
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopObs()) }()
+func run(ctx context.Context) (err error) {
 
 	var app *workloads.App
 	switch strings.ToLower(*appName) {

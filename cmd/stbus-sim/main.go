@@ -9,10 +9,9 @@
 package main
 
 import (
-	"errors"
+	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"strings"
 
@@ -33,33 +32,11 @@ var (
 	dumpTraces = flag.String("dump-traces", "", "prefix for binary trace dumps (<prefix>.req.trc, <prefix>.resp.trc)")
 	asJSON     = flag.Bool("json-traces", false, "dump traces as JSON instead of binary")
 	vcdOut     = flag.String("vcd", "", "write a VCD waveform of the bus activity to this file")
-	timeout    = flag.Duration("timeout", 0, "abort the simulation after this duration (0 = no limit); Ctrl-C also cancels")
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("stbus-sim: ")
-	flag.Parse()
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("stbus-sim", run) }
 
-func run() (err error) {
-	ctx, stop := cli.Context(*timeout)
-	defer stop()
-
-	stopProf, err := cli.StartProfiling()
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopProf()) }()
-
-	ctx, stopObs, err := cli.StartObs(ctx)
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopObs()) }()
+func run(ctx context.Context) (err error) {
 
 	var app *workloads.App
 	if *specPath != "" {

@@ -22,7 +22,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"runtime"
 
@@ -35,33 +34,11 @@ var (
 	window    = flag.Int64("window", 0, "window size for peak-duty analysis (0 = mean burst × 2)")
 	jsonTrace = flag.Bool("json", false, "trace file is JSON")
 	stream    = flag.Bool("stream", false, "analyze the binary trace by streaming (requires -window > 0; events are never loaded into memory)")
-	timeout   = flag.Duration("timeout", 0, "abort after this duration (0 = no limit); Ctrl-C also cancels")
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("tracestat: ")
-	flag.Parse()
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("tracestat", run) }
 
-func run() (err error) {
-	ctx, stop := cli.Context(*timeout)
-	defer stop()
-
-	stopProf, err := cli.StartProfiling()
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopProf()) }()
-
-	ctx, stopObs, err := cli.StartObs(ctx)
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopObs()) }()
+func run(ctx context.Context) (err error) {
 
 	if *tracePath == "" {
 		return errors.New("missing -trace")

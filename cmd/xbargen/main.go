@@ -12,12 +12,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
+	"repro/internal/cache"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/stbus"
@@ -35,33 +36,12 @@ var (
 	jsonTrace  = flag.Bool("json", false, "trace file is JSON")
 	netlist    = flag.String("netlist", "", "also write a JSON netlist of the designed direction (paired with a full crossbar for the other direction)")
 	structural = flag.Bool("structural", false, "print a structural-HDL rendering of the design")
-	timeout    = flag.Duration("timeout", 0, "abort the design after this duration (0 = no limit); Ctrl-C also cancels")
+	cacheDir   = flag.String("cache-dir", "", "content-addressed design cache directory: identical (trace, options) runs are served from it, near-identical ones warm-start the solver; results are bit-identical either way")
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("xbargen: ")
-	flag.Parse()
-	if err := run(); err != nil {
-		log.Fatal(err)
-	}
-}
+func main() { cli.Main("xbargen", run) }
 
-func run() (err error) {
-	ctx, stop := cli.Context(*timeout)
-	defer stop()
-
-	stopProf, err := cli.StartProfiling()
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopProf()) }()
-
-	ctx, stopObs, err := cli.StartObs(ctx)
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, stopObs()) }()
+func run(ctx context.Context) (err error) {
 
 	if *tracePath == "" {
 		return errors.New("missing -trace")
@@ -105,6 +85,9 @@ func run() (err error) {
 		opts.Engine = core.EngineAnneal
 	default:
 		return fmt.Errorf("unknown -engine %q (want bb, milp or anneal)", *engine)
+	}
+	if *cacheDir != "" {
+		opts.Cache = cache.New(cache.Config{Dir: *cacheDir})
 	}
 
 	d, err := core.DesignCrossbarCtx(ctx, a, opts)

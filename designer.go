@@ -59,9 +59,10 @@ func (d *Designer) options() Options {
 // crossbar design for both directions, and validation. Cancellation or
 // deadline expiry surfaces promptly as an error wrapping ErrCanceled
 // (design phases) or sim.ErrCanceled (simulation phases).
-func (d *Designer) Design(ctx context.Context, app *App) (*Result, error) {
+func (d *Designer) Design(ctx context.Context, app *App) (_ *Result, err error) {
 	ctx, span := obs.Start(ctx, "designer.design")
 	defer span.End()
+	defer func() { span.SetError(err) }()
 	span.SetStr("app", app.Name)
 	span.SetInt("initiators", int64(app.NumInitiators))
 	span.SetInt("targets", int64(app.NumTargets))
@@ -101,9 +102,10 @@ func (d *Designer) Design(ctx context.Context, app *App) (*Result, error) {
 
 // DesignTrace designs one direction's crossbar from an existing trace
 // with the given window size (phases 2–3 only).
-func (d *Designer) DesignTrace(ctx context.Context, tr *Trace, windowSize int64) (*Design, error) {
+func (d *Designer) DesignTrace(ctx context.Context, tr *Trace, windowSize int64) (_ *Design, err error) {
 	ctx, span := obs.Start(ctx, "designer.design_trace")
 	defer span.End()
+	defer func() { span.SetError(err) }()
 	span.SetInt("receivers", int64(tr.NumReceivers))
 	span.SetInt("window_size", windowSize)
 	opts := d.options()

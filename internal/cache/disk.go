@@ -1,0 +1,128 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// On-disk entry layout (one file per cached design):
+//
+//	magic    [8]byte  "STBUSCD\x01"
+//	version  uint32   little-endian diskVersion
+//	checksum [32]byte SHA-256 of the payload
+//	payload  []byte   gob(diskPayload)
+//
+// Every field is verified on load; any mismatch — foreign file, stale
+// version, flipped bit, truncation, or a filename colliding with
+// different content — makes the entry a miss. The format is an
+// integrity layer, not a security boundary: the directory is trusted
+// not to be adversarial, merely unreliable.
+var diskMagic = [8]byte{'S', 'T', 'B', 'U', 'S', 'C', 'D', 1}
+
+// diskVersion is bumped whenever the payload encoding or the meaning
+// of a fingerprint changes; old entries then read as misses and are
+// naturally rewritten.
+const diskVersion uint32 = 1
+
+// diskPayload is the gob-encoded body. The fingerprints are repeated
+// inside the checksummed payload so a file renamed onto the wrong key
+// cannot serve a wrong design.
+type diskPayload struct {
+	AnalysisFP [32]byte
+	OptionsFP  [32]byte
+	Design     core.Design
+}
+
+// diskPath derives the entry filename from the key. Truncated hex keeps
+// names short; the full fingerprints inside the payload disambiguate
+// the (astronomically unlikely) truncation collision.
+func (s *Store) diskPath(k key) string {
+	name := hex.EncodeToString(k.analysis[:8]) + "-" + hex.EncodeToString(k.options[:8]) + ".stbusc"
+	return filepath.Join(s.cfg.Dir, name)
+}
+
+// loadDisk reads and verifies one entry. Any failure is a miss;
+// metDiskRejects distinguishes "file present but rejected" from a
+// plain absence.
+func (s *Store) loadDisk(k key) (*core.Design, bool) {
+	raw, err := os.ReadFile(s.diskPath(k))
+	if err != nil {
+		return nil, false
+	}
+	reject := func() (*core.Design, bool) {
+		metDiskRejects.Inc()
+		return nil, false
+	}
+	const headerLen = 8 + 4 + sha256.Size
+	if len(raw) < headerLen {
+		return reject()
+	}
+	if !bytes.Equal(raw[:8], diskMagic[:]) {
+		return reject()
+	}
+	if binary.LittleEndian.Uint32(raw[8:12]) != diskVersion {
+		return reject()
+	}
+	payload := raw[headerLen:]
+	if sum := sha256.Sum256(payload); !bytes.Equal(sum[:], raw[12:headerLen]) {
+		return reject()
+	}
+	var p diskPayload
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&p); err != nil {
+		return reject()
+	}
+	if p.AnalysisFP != [32]byte(k.analysis) || p.OptionsFP != [32]byte(k.options) {
+		return reject()
+	}
+	if p.Design.Capped || len(p.Design.BusOf) == 0 {
+		return reject()
+	}
+	d := p.Design
+	return &d, true
+}
+
+// writeDisk persists one entry, best-effort: errors drop the write (a
+// cache miss later, never a failure now). The write goes through a
+// temp file + rename so concurrent readers only ever see complete
+// entries.
+func (s *Store) writeDisk(k key, d *core.Design) {
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(diskPayload{
+		AnalysisFP: [32]byte(k.analysis),
+		OptionsFP:  [32]byte(k.options),
+		Design:     *copyDesign(d),
+	}); err != nil {
+		return
+	}
+	payload := buf.Bytes()
+	header := make([]byte, 0, 8+4+sha256.Size)
+	header = append(header, diskMagic[:]...)
+	header = binary.LittleEndian.AppendUint32(header, diskVersion)
+	sum := sha256.Sum256(payload)
+	header = append(header, sum[:]...)
+
+	path := s.diskPath(k)
+	tmp, err := os.CreateTemp(s.cfg.Dir, ".stbusc-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(append(header, payload...))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

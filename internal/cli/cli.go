@@ -11,6 +11,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"runtime"
@@ -160,4 +161,47 @@ func StartObs(ctx context.Context) (_ context.Context, finish func() error, err 
 		}
 		return errors.Join(errs...)
 	}, nil
+}
+
+// The tool timeout, registered at package init like the profiling
+// flags: one definition, every tool.
+var timeoutFlag = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels")
+
+// Main is the shared entry point of the command-line tools: logger
+// prefix, flag parsing, then Run around the tool body. Tools reduce to
+//
+//	func main() { cli.Main("xbargen", run) }
+//	func run(ctx context.Context) error { ... }
+//
+// The body's error — joined with any scaffolding teardown error —
+// exits through log.Fatal with the tool's prefix.
+func Main(name string, run func(ctx context.Context) error) {
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+	flag.Parse()
+	if err := Run(run); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// Run wires the shared scaffolding around one tool body: the root
+// context (Ctrl-C / SIGTERM / -timeout), profiling and observability.
+// Teardown runs on every exit path and its errors join the body's.
+func Run(run func(ctx context.Context) error) (err error) {
+	ctx, stop := Context(*timeoutFlag)
+	defer stop()
+
+	stopProf, err := StartProfiling()
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopProf()) }()
+
+	ctx, stopObs, err := StartObs(ctx)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, stopObs()) }()
+
+	return run(ctx)
 }

@@ -178,6 +178,32 @@ const cancelCheckMask = 1023
 // by a greedy incumbent). The context is polled at node-expansion
 // boundaries; cancellation surfaces as a wrapped ErrCanceled.
 func (p *assignProblem) solve(ctx context.Context, nB int, optimize bool) (*assignResult, error) {
+	return p.solveSeeded(ctx, nB, optimize, nil, 0)
+}
+
+// solveSeeded is solve with an optional external warm incumbent for the
+// optimize mode: a known-feasible binding (seedBus, already validated by
+// the caller) with objective seedObj on THIS problem. When the seed
+// beats the greedy incumbent it becomes the starting incumbent with the
+// bound tightened to seedObj+1, pruning every subtree that cannot
+// strictly improve on it.
+//
+// The +1 keeps the output bit-identical to the unseeded solve. Let G be
+// the greedy incumbent's objective and opt the true optimum.
+//
+//   - If opt < G, the unseeded search returns the first
+//     depth-first binding achieving opt (each improvement overwrites
+//     st.bestBus, and once st.best == opt no later equal binding can
+//     displace it). Since seedObj ≥ opt, the seeded bound
+//     min(G, seedObj+1) is still > opt, so every prefix of that first
+//     opt-achiever (prefix overlaps ≤ opt < bound) survives pruning and
+//     it is again the last binding recorded.
+//   - If opt == G, then seedObj ≥ opt = G means seedObj+1 > G: the seed
+//     does not tighten the bound, and the search is the unseeded one.
+//
+// Either way the returned binding is exactly the unseeded one; the seed
+// only prunes subtrees that could not contain it.
+func (p *assignProblem) solveSeeded(ctx context.Context, nB int, optimize bool, seedBus []int, seedObj int64) (*assignResult, error) {
 	if nB <= 0 {
 		return &assignResult{}, nil
 	}
@@ -219,6 +245,12 @@ func (p *assignProblem) solve(ctx context.Context, nB int, optimize bool) (*assi
 		if busOf, obj, ok := p.greedyBinding(nB); ok {
 			st.best = obj
 			st.bestBus = busOf
+		}
+		// An external warm incumbent tightens the bound further (see the
+		// solveSeeded contract for why +1 preserves bit-identity).
+		if seedBus != nil && seedObj+1 < st.best {
+			st.best = seedObj + 1
+			st.bestBus = append([]int(nil), seedBus...)
 		}
 	}
 
@@ -369,6 +401,47 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 		}
 	}
 	return false
+}
+
+// validBinding reports whether busOf is a feasible binding of every
+// target into nB buses under this problem's conflict, cap and reduced-
+// window bandwidth constraints. It is the gate for externally supplied
+// (cached) bindings: O(nT² + nB·nW) — cheap enough to run on every
+// candidate, so cached state never has to be trusted.
+func (p *assignProblem) validBinding(nB int, busOf []int) bool {
+	if nB <= 0 || len(busOf) != p.nT {
+		return false
+	}
+	count := make([]int, nB)
+	for t, b := range busOf {
+		if b < 0 || b >= nB {
+			return false
+		}
+		count[b]++
+		if count[b] > p.maxPerBus {
+			return false
+		}
+		for o := 0; o < t; o++ {
+			if busOf[o] == b && p.conflict[t][o] {
+				return false
+			}
+		}
+	}
+	load := make([]int64, nB)
+	for w, ws := range p.ws {
+		for b := range load {
+			load[b] = 0
+		}
+		for t, b := range busOf {
+			load[b] += p.comm[t][w]
+		}
+		for _, l := range load {
+			if l > ws {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // greedyBinding builds a feasible binding by placing each target on the

@@ -118,6 +118,45 @@ type Options struct {
 	// Designer.DesignTrace); internal/check sits above this package,
 	// so core itself cannot run the audit. Free when false.
 	Audit bool
+	// Cache, when non-nil, front-ends the design with a cross-request
+	// content-addressed cache (see internal/cache): exact fingerprint
+	// hits return the stored design with zero solver work, near hits
+	// seed the solve with the cached binding as a warm incumbent. Both
+	// paths produce designs bit-identical to a cold solve. Excluded
+	// from Options.Fingerprint — it selects how the answer is obtained,
+	// never what it is.
+	Cache Cache
+}
+
+// Incumbent is a previously computed binding offered to a new design
+// run as a warm starting point. It is a hint, never trusted: core
+// re-validates it against the new analysis before any use.
+type Incumbent struct {
+	// NumBuses is the bus count the binding was produced for.
+	NumBuses int
+	// BusOf[r] is the bus receiver r is bound to.
+	BusOf []int
+}
+
+// Cache is the reuse interface DesignCrossbarCtx consults when
+// Options.Cache is set. Implementations live above core (see
+// internal/cache); the interface is defined here so core does not
+// import them.
+//
+// All methods must be safe for concurrent use. Designs and incumbents
+// handed out must be private to the caller (no aliasing of cached
+// state), and Store must likewise deep-copy what it retains.
+type Cache interface {
+	// Lookup returns the design cached for exactly this problem
+	// (analysis and options fingerprints both equal), or ok == false.
+	Lookup(a *trace.Analysis, opts Options) (d *Design, ok bool)
+	// Warm returns a binding cached for a nearby problem — same
+	// receiver count and option fingerprint, small constraint diff —
+	// or nil when nothing close enough is cached. The binding is only
+	// a hint; core validates it against the new analysis before use.
+	Warm(a *trace.Analysis, opts Options) *Incumbent
+	// Store offers a finished, un-capped design for caching.
+	Store(a *trace.Analysis, opts Options, d *Design)
 }
 
 // Validate rejects option sets that would otherwise panic deep in the
@@ -255,6 +294,17 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	designSpan.SetStr("engine", opts.Engine.String())
 	metDesigns.Inc()
 
+	// A content-addressed exact hit costs two fingerprints and a map
+	// probe — checked before the conflict matrix or any solver state is
+	// built, so a hit stays microseconds regardless of problem size.
+	if opts.Cache != nil {
+		if d, ok := opts.Cache.Lookup(a, opts); ok {
+			designSpan.SetBool("cache_hit", true)
+			designSpan.SetInt("buses", int64(d.NumBuses))
+			return d, nil
+		}
+	}
+
 	conflicts := BuildConflicts(a, opts)
 	nConf := 0
 	for i := 0; i < nT; i++ {
@@ -277,6 +327,32 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	}
 	if lb > ub {
 		lb = ub
+	}
+
+	// Near-hit warm start: a binding cached for a nearby problem. It is
+	// a hint, never trusted — re-validated against THIS problem's
+	// constraints first. Once validated it proves feasibility at its
+	// bus count (narrowing the search to the counts below) and, for the
+	// branch-and-bound engine, seeds the binding phase (see solveSeeded
+	// for why the output stays bit-identical to a cold solve). The
+	// other engines get the range narrowing only: their binding paths
+	// are not seed-invariant, and warm results must equal cold ones.
+	warmK := -1
+	var seedBus []int
+	var seedObj int64
+	if opts.Cache != nil {
+		if inc := opts.Cache.Warm(a, opts); inc != nil &&
+			inc.NumBuses <= ub && prob.validBinding(inc.NumBuses, inc.BusOf) {
+			warmK = inc.NumBuses
+			if warmK < lb {
+				// Valid in fewer buses than the analytic lower bound
+				// requires: still valid at lb (extra buses stay idle).
+				warmK = lb
+			}
+			seedBus = inc.BusOf
+			seedObj = MaxOverlapOfMatrix(prob.om, warmK, seedBus)
+			designSpan.SetBool("cache_warm", true)
+		}
 	}
 
 	// The MILP engine shares one formulation skeleton (reduced windows,
@@ -322,16 +398,45 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		}
 		return res, err
 	}
+	// solveWarm is the binding-phase probe with the cache incumbent
+	// installed (EngineBranchBound only; see solveSeeded).
+	solveWarm := func(ctx context.Context, k int, seedBus []int, seedObj int64) (*assignResult, error) {
+		ctx, sp := obs.Start(ctx, "core.probe")
+		defer sp.End()
+		sp.SetInt("buses", int64(k))
+		sp.SetBool("optimize", true)
+		sp.SetBool("seeded", true)
+		metProbes.Inc()
+		res, err := prob.solveSeeded(ctx, k, true, seedBus, seedObj)
+		if err == nil && res != nil {
+			sp.SetBool("feasible", res.feasible)
+			sp.SetInt("nodes", res.nodes)
+		}
+		return res, err
+	}
 
 	// Phase 1: find the minimum feasible bus count. Feasibility is
 	// monotone in the bus count (extra buses can stay unused), so an
 	// interval-narrowing search is exact (paper Section 6); with
 	// Workers > 1 several candidate counts are probed speculatively in
-	// parallel, canceling probes a sibling result makes redundant.
+	// parallel, canceling probes a sibling result makes redundant. A
+	// validated warm incumbent replaces the upper half of the search
+	// outright (searchBelowIncumbent).
 	sctx, searchSpan := obs.Start(ctx, "core.search")
 	searchSpan.SetInt("lb", int64(lb))
 	searchSpan.SetInt("ub", int64(ub))
-	best, firstFeasible, nodes, err := searchMinFeasible(sctx, lb, ub, conc.Workers(opts.Workers), solve)
+	var (
+		best          int
+		firstFeasible *assignResult
+		nodes         int64
+		err           error
+	)
+	if warmK >= 0 {
+		searchSpan.SetBool("warm", true)
+		best, firstFeasible, nodes, err = searchBelowIncumbent(sctx, lb, warmK, conc.Workers(opts.Workers), solve)
+	} else {
+		best, firstFeasible, nodes, err = searchMinFeasible(sctx, lb, ub, conc.Workers(opts.Workers), solve)
+	}
 	searchSpan.SetInt("best", int64(best))
 	searchSpan.End()
 	if err != nil {
@@ -341,11 +446,33 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		return nil, fmt.Errorf("core: no feasible crossbar with at most %d buses (conflicts or bus cap too tight): %w", ub, ErrInfeasible)
 	}
 
+	// The warm search can prove the minimal count without a probe at
+	// that count (the incumbent itself is the feasibility witness).
+	// When the binding phase is off, run the probe the cold search
+	// would have ended with — the per-count solve is deterministic, so
+	// the binding is the one a cold run returns.
+	if firstFeasible == nil && !opts.OptimizeBinding {
+		res, err := solve(ctx, best, false)
+		if err != nil {
+			return nil, err
+		}
+		nodes += res.nodes
+		firstFeasible = res
+	}
+
 	result := firstFeasible
 	// Phase 2: optimal binding on the chosen configuration.
 	if opts.OptimizeBinding {
 		bctx, bindSpan := obs.Start(ctx, "core.bind")
-		res, err := solve(bctx, best, true)
+		var res *assignResult
+		if seedBus != nil && best == warmK && opts.Engine == EngineBranchBound {
+			// The cached binding is valid at the chosen count: seed the
+			// branch and bound with it (output unchanged, subtrees that
+			// cannot beat it pruned).
+			res, err = solveWarm(bctx, best, seedBus, seedObj)
+		} else {
+			res, err = solve(bctx, best, true)
+		}
 		bindSpan.End()
 		if err != nil {
 			return nil, err
@@ -355,10 +482,15 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 			result = res
 		}
 	}
+	if result == nil || !result.feasible {
+		// Unreachable unless a solver contract breaks: best was proven
+		// feasible, so some phase must have produced a binding.
+		return nil, fmt.Errorf("core: internal: no binding at proven-feasible count %d", best)
+	}
 
 	designSpan.SetInt("buses", int64(best))
 	designSpan.SetInt("nodes", nodes)
-	return &Design{
+	design := &Design{
 		NumBuses:      best,
 		BusOf:         result.busOf,
 		MaxBusOverlap: result.maxOverlap,
@@ -366,7 +498,15 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		SearchNodes:   nodes,
 		Engine:        opts.Engine,
 		Capped:        result.capped,
-	}, nil
+	}
+	// Publish the finished design for reuse. Capped results are
+	// excluded: they depend on the node budget, and MaxNodes is
+	// deliberately outside the options fingerprint precisely because
+	// un-capped results are budget-independent.
+	if opts.Cache != nil && !design.Capped {
+		opts.Cache.Store(a, opts, design)
+	}
+	return design, nil
 }
 
 // BuildConflicts computes the conflict matrix (paper Eq. 2) from the

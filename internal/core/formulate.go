@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/ds"
 	"repro/internal/lp"
 	"repro/internal/milp"
 	"repro/internal/trace"
@@ -58,6 +59,13 @@ type Formulation struct {
 	xIdx func(i, k int) int
 	// MaxovIdx is the maxov variable index, or -1 in feasibility mode.
 	MaxovIdx int
+
+	// Retained for Inject: the materialized sharing pairs, their
+	// variable index mappings, and the aggregate overlap matrix.
+	pairs []pairIJ
+	sbIdx func(p, k int) int
+	sIdx  func(p int) int
+	om    *ds.SymMatrix
 }
 
 type pairIJ struct{ i, j int }
@@ -273,7 +281,65 @@ func (f *Formulator) ForBusCount(numBuses int, optimize bool) *Formulation {
 		nT:       nT,
 		xIdx:     x,
 		MaxovIdx: maxovIdx,
+		pairs:    pairs,
+		sbIdx:    sb,
+		sIdx:     sv,
+		om:       a.OM,
 	}
+}
+
+// Inject converts a receiver→bus binding into a complete solution
+// vector for this formulation, suitable as milp.Options.Incumbent. The
+// binding is relabeled to the canonical bus ordering (buses numbered by
+// first appearance in receiver order) so the vector satisfies the
+// symmetry-breaking rows; relabeling changes neither feasibility nor
+// the maxov objective, which is invariant under bus permutation. Only
+// the shape is validated here — constraint satisfaction is the MILP
+// solver's job (it re-checks any incumbent before trusting it).
+func (f *Formulation) Inject(busOf []int) ([]float64, error) {
+	if len(busOf) != f.nT {
+		return nil, fmt.Errorf("core: binding covers %d receivers, formulation has %d", len(busOf), f.nT)
+	}
+	relabel := make([]int, f.NumBuses)
+	for k := range relabel {
+		relabel[k] = -1
+	}
+	canon := make([]int, f.nT)
+	next := 0
+	for i, b := range busOf {
+		if b < 0 || b >= f.NumBuses {
+			return nil, fmt.Errorf("core: receiver %d on bus %d outside [0,%d)", i, b, f.NumBuses)
+		}
+		if relabel[b] == -1 {
+			relabel[b] = next
+			next++
+		}
+		canon[i] = relabel[b]
+	}
+	x := make([]float64, f.Problem.LP.NumVars)
+	for i, k := range canon {
+		x[f.xIdx(i, k)] = 1
+	}
+	per := make([]int64, f.NumBuses)
+	for p, pr := range f.pairs {
+		if canon[pr.i] != canon[pr.j] {
+			continue
+		}
+		k := canon[pr.i]
+		x[f.sbIdx(p, k)] = 1
+		x[f.sIdx(p)] = 1
+		per[k] += f.om.At(pr.i, pr.j)
+	}
+	if f.MaxovIdx >= 0 {
+		var maxov int64
+		for _, v := range per {
+			if v > maxov {
+				maxov = v
+			}
+		}
+		x[f.MaxovIdx] = float64(maxov)
+	}
+	return x, nil
 }
 
 // Formulate builds the MILP for one candidate bus count with the

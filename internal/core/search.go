@@ -143,3 +143,40 @@ func probePoints(lo, hi, w int) []int {
 	}
 	return pts
 }
+
+// searchBelowIncumbent is the warm variant of searchMinFeasible: a
+// validated cached binding already proves feasibility at warmK, so only
+// the counts below it are in question. It first probes warmK−1 — in the
+// common small-delta case the cached count is still minimal and that
+// single infeasible probe is the whole search — and only when the probe
+// is feasible does it fall back to the full interval search on
+// [lb, warmK−2]. Each per-count probe is deterministic, so the returned
+// count and binding are exactly what searchMinFeasible would have
+// found over the full range. The returned bestRes is nil when the
+// incumbent's own count is the answer (warmK == lb, or the warmK−1
+// probe infeasible): no probe at that count ran.
+func searchBelowIncumbent(ctx context.Context, lb, warmK, workers int, solve solveFunc) (best int, bestRes *assignResult, nodes int64, err error) {
+	if warmK <= lb {
+		return lb, nil, 0, nil
+	}
+	res, err := solve(ctx, warmK-1, false)
+	if err != nil {
+		return -1, nil, 0, err
+	}
+	nodes = res.nodes
+	if !res.feasible {
+		return warmK, nil, nodes, nil
+	}
+	if warmK-2 < lb {
+		return warmK - 1, res, nodes, nil
+	}
+	b2, fr, n2, err := searchMinFeasible(ctx, lb, warmK-2, workers, solve)
+	nodes += n2
+	if err != nil {
+		return -1, nil, nodes, err
+	}
+	if b2 != -1 {
+		return b2, fr, nodes, nil
+	}
+	return warmK - 1, res, nodes, nil
+}

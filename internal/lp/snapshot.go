@@ -1,0 +1,72 @@
+package lp
+
+// NodeState is a saved copy of a NodeSolver's mutable solve state: the
+// tableau image, basis, bounds, fix overlay and warm-start bookkeeping.
+// It lets a branch-and-bound search return to a previously factored
+// point (typically the root relaxation) in O(m·cols) copy time instead
+// of re-deriving it — either by a long chain of dual-simplex diffs from
+// an unrelated node or by a full cold two-phase solve.
+//
+// A state is only meaningful for the solver that produced it; restoring
+// it into a different solver corrupts both.
+type NodeState struct {
+	tableau []float64 // m × numCols row image, rows concatenated
+	xB      []float64
+	basis   []int
+	isBasic []bool
+	atUpper []bool
+	upper   []float64
+	noEnter []bool
+	fixVal  []float64
+	fixed   []int
+	ready   bool
+	sinceRe int
+}
+
+// Snapshot copies the solver's current solve state. Call it after a
+// Solve; the snapshot then reproduces, via Restore, exactly the state
+// the next Solve would have warm-started from. Stats counters (pivot
+// and warm/cold counts) are not part of the state — they keep
+// accumulating monotonically across restores.
+func (s *NodeSolver) Snapshot() *NodeState {
+	t := &s.t
+	st := &NodeState{
+		tableau: make([]float64, t.m*t.numCols),
+		xB:      append([]float64(nil), t.xB...),
+		basis:   append([]int(nil), t.basis...),
+		isBasic: append([]bool(nil), t.isBasic...),
+		atUpper: append([]bool(nil), t.atUpper...),
+		upper:   append([]float64(nil), t.upper...),
+		noEnter: append([]bool(nil), t.noEnter...),
+		fixVal:  append([]float64(nil), t.fixVal...),
+		fixed:   append([]int(nil), s.fixed...),
+		ready:   s.ready,
+		sinceRe: s.sinceRe,
+	}
+	for i := 0; i < t.m; i++ {
+		copy(st.tableau[i*t.numCols:(i+1)*t.numCols], t.rows[i])
+	}
+	return st
+}
+
+// Restore copies a snapshot back into the solver's live buffers. The
+// next Solve then behaves exactly as if it followed the Solve the
+// snapshot was taken after: same warm-start basis, same fix overlay,
+// same results for the same fix sequence. The snapshot itself is not
+// consumed and may be restored again.
+func (s *NodeSolver) Restore(st *NodeState) {
+	t := &s.t
+	for i := 0; i < t.m; i++ {
+		copy(t.rows[i], st.tableau[i*t.numCols:(i+1)*t.numCols])
+	}
+	copy(t.xB, st.xB)
+	copy(t.basis, st.basis)
+	copy(t.isBasic, st.isBasic)
+	copy(t.atUpper, st.atUpper)
+	copy(t.upper, st.upper)
+	copy(t.noEnter, st.noEnter)
+	copy(t.fixVal, st.fixVal)
+	s.fixed = append(s.fixed[:0], st.fixed...)
+	s.ready = st.ready
+	s.sinceRe = st.sinceRe
+}

@@ -1,0 +1,99 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotRestoreReplaysExactly pins the Snapshot/Restore contract:
+// after restoring, replaying the same fix sequence reproduces the exact
+// same solutions — bit-identical X vectors, not merely equal objectives
+// — because the solver warm-starts from the identical basis.
+func TestSnapshotRestoreReplaysExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		p, upper := randomBinaryProblem(rng)
+		ns, err := NewNodeSolver(p, upper)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Arrive at some state via a couple of solves.
+		warmup := [][]Fix{nil, {{Var: 0, Val: 1}}}
+		for _, fx := range warmup {
+			if _, err := ns.Solve(fx); err != nil {
+				t.Fatalf("trial %d warmup: %v", trial, err)
+			}
+		}
+		snap := ns.Snapshot()
+
+		// Reference continuation from the snapshot point.
+		cont := make([][]Fix, 0, 4)
+		for step := 0; step < 4; step++ {
+			var fixes []Fix
+			seen := map[int]bool{}
+			for k := 0; k <= rng.Intn(3); k++ {
+				v := rng.Intn(p.NumVars)
+				if !seen[v] {
+					seen[v] = true
+					fixes = append(fixes, Fix{Var: v, Val: float64(rng.Intn(2))})
+				}
+			}
+			cont = append(cont, fixes)
+		}
+		type outcome struct {
+			status Status
+			obj    float64
+			x      []float64
+		}
+		run := func() []outcome {
+			outs := make([]outcome, 0, len(cont))
+			for _, fixes := range cont {
+				sol, err := ns.Solve(fixes)
+				if err != nil {
+					t.Fatalf("trial %d continuation: %v", trial, err)
+				}
+				o := outcome{status: sol.Status, obj: sol.Objective}
+				if sol.X != nil {
+					o.x = append([]float64(nil), sol.X...)
+				}
+				outs = append(outs, o)
+			}
+			return outs
+		}
+		want := run()
+
+		// Wander somewhere unrelated, then restore and replay.
+		for step := 0; step < 3; step++ {
+			v := rng.Intn(p.NumVars)
+			if _, err := ns.Solve([]Fix{{Var: v, Val: float64(rng.Intn(2))}}); err != nil {
+				t.Fatalf("trial %d wander: %v", trial, err)
+			}
+		}
+		ns.Restore(snap)
+		got := run()
+
+		for i := range want {
+			if got[i].status != want[i].status || got[i].obj != want[i].obj {
+				t.Fatalf("trial %d step %d: (%v, %v) after restore, want (%v, %v)",
+					trial, i, got[i].status, got[i].obj, want[i].status, want[i].obj)
+			}
+			for j := range want[i].x {
+				if got[i].x[j] != want[i].x[j] {
+					t.Fatalf("trial %d step %d: x[%d]=%v after restore, want %v",
+						trial, i, j, got[i].x[j], want[i].x[j])
+				}
+			}
+		}
+
+		// The snapshot is reusable: restore again and check the first
+		// continuation step once more.
+		ns.Restore(snap)
+		sol, err := ns.Solve(cont[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != want[0].status {
+			t.Fatalf("trial %d: second restore diverged", trial)
+		}
+	}
+}

@@ -39,6 +39,8 @@ var (
 	metDualPivots = obs.NewCounter("milp.dual_pivots")
 	metLPIters    = obs.NewCounter("milp.lp_iterations")
 	metIncumbents = obs.NewCounter("milp.incumbents")
+	metSeeded     = obs.NewCounter("milp.seeded")
+	metRestarts   = obs.NewCounter("milp.snapshot_restarts")
 )
 
 // nodeSpanMask samples per-node tracing: with a Tracer attached, one
@@ -72,6 +74,27 @@ type Options struct {
 	// so benchmarks can measure the warm-start gain and as a fallback
 	// while comparing solver revisions.
 	Cold bool
+	// Incumbent optionally seeds the search with a known-feasible
+	// solution vector over all variables (len == NumVars), typically a
+	// cached solution of a nearby problem. It is validated against the
+	// constraints and integrality before use — an invalid or mis-sized
+	// incumbent is silently ignored, never trusted. A valid incumbent
+	// bounds the search from node one and is returned when nothing
+	// strictly better is found, so the reported objective is exact; the
+	// reported vector, however, may be the incumbent rather than the
+	// equally-good vertex an unseeded search would have found. In
+	// FirstFeasible mode a valid incumbent short-circuits the search
+	// entirely (any feasible point suffices).
+	Incumbent []float64
+	// SnapshotRestart (incremental path, best-first mode) snapshots the
+	// solver state after the root relaxation and restores it whenever
+	// the search pops a node that does not extend the previously solved
+	// node's fix chain, so every such solve warm-starts from the root
+	// basis plus a depth-sized diff instead of an unrelated sibling's
+	// basis. Sound for objective and status; the relaxation vertices —
+	// and hence branching order and the returned vector among ties —
+	// may differ from the default path, so it is off by default.
+	SnapshotRestart bool
 }
 
 // Solution is the result of a MILP solve.
@@ -99,6 +122,11 @@ type Solution struct {
 	// metric warm starts exist to shrink. Zero on the legacy
 	// (Options.Cold) path before any node completes.
 	LPIterations int64
+	// Seeded reports that Options.Incumbent passed validation and
+	// bounded the search from the start.
+	Seeded bool
+	// Restarts counts root-snapshot restores (Options.SnapshotRestart).
+	Restarts int64
 }
 
 // ErrNodeLimit is returned when the node budget is exhausted before
@@ -189,8 +217,10 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 	var best *Solution
 	nodes := 0
 	maxDepth := 0
+	seeded := false
 	var incumbents int64
 	var lpIters int64
+	var restarts int64
 	var lastWarm, lastCold, lastDual int64
 	finish := func(s *Solution) *Solution {
 		s.Nodes = nodes
@@ -199,6 +229,8 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 		s.MaxDepth = maxDepth
 		s.Incumbents = incumbents
 		s.LPIterations = lpIters
+		s.Seeded = seeded
+		s.Restarts = restarts
 		solveSpan.SetInt("nodes", int64(nodes))
 		solveSpan.SetInt("warm", s.WarmSolves)
 		solveSpan.SetInt("cold", s.ColdSolves)
@@ -206,6 +238,18 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 		solveSpan.SetStr("status", s.Status.String())
 		solveSpan.End()
 		return s
+	}
+	if opts.Incumbent != nil {
+		if s := seedIncumbent(p, opts.Incumbent); s != nil {
+			best = s
+			seeded = true
+			metSeeded.Inc()
+			solveSpan.SetBool("seeded", true)
+			if opts.FirstFeasible {
+				// Any feasible point suffices; the incumbent is one.
+				return finish(best), nil
+			}
+		}
 	}
 	defer func() {
 		// Stream warm/cold/dual-pivot deltas not yet flushed (error
@@ -225,6 +269,13 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 		metDualPivots.Add(d - lastDual)
 		lastWarm, lastCold, lastDual = w, c, d
 	}
+	// Root-snapshot restarts (see Options.SnapshotRestart): remember the
+	// fix chain of the previously solved node so extension pops (a child
+	// right after its parent — the cheap warm-start case) skip the
+	// restore.
+	var rootSnap *lp.NodeState
+	var prevChain *chainFix
+	prevValid := false
 	for len(open) > 0 {
 		var cur node
 		if opts.FirstFeasible {
@@ -264,6 +315,11 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 			return nil, fmt.Errorf("%w after %d nodes: %w", ErrCanceled, nodes, err)
 		}
 
+		if opts.SnapshotRestart && rootSnap != nil && !(prevValid && cur.fixes != nil && cur.fixes.parent == prevChain) {
+			ns.Restore(rootSnap)
+			restarts++
+			metRestarts.Inc()
+		}
 		var nodeSpan *obs.Span
 		if tracer != nil && nodes&nodeSpanMask == 1 {
 			nodeSpan = obs.StartDetached(tracer, solveSpan, "milp.node")
@@ -279,6 +335,10 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 		}
 		if err != nil {
 			return nil, err
+		}
+		prevChain, prevValid = cur.fixes, true
+		if opts.SnapshotRestart && rootSnap == nil && cur.fixes == nil {
+			rootSnap = ns.Snapshot()
 		}
 		lpIters += sol.Iterations
 		metLPIters.Add(sol.Iterations)
@@ -366,6 +426,7 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 	var best *Solution
 	nodes := 0
 	maxDepth := 0
+	seeded := false
 	var incumbents, lpIters int64
 	finish := func(s *Solution) *Solution {
 		s.Nodes = nodes
@@ -373,10 +434,22 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 		s.MaxDepth = maxDepth
 		s.Incumbents = incumbents
 		s.LPIterations = lpIters
+		s.Seeded = seeded
 		solveSpan.SetInt("nodes", int64(nodes))
 		solveSpan.SetInt("max_depth", int64(maxDepth))
 		solveSpan.SetStr("status", s.Status.String())
 		return s
+	}
+	if opts.Incumbent != nil {
+		if s := seedIncumbent(p, opts.Incumbent); s != nil {
+			best = s
+			seeded = true
+			metSeeded.Inc()
+			solveSpan.SetBool("seeded", true)
+			if opts.FirstFeasible {
+				return finish(best), nil
+			}
+		}
 	}
 	for len(open) > 0 {
 		// Pop the node with the most promising bound (best-first).
@@ -455,6 +528,36 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 		return finish(&Solution{Status: lp.Infeasible}), nil
 	}
 	return finish(best), nil
+}
+
+// seedIncumbent validates a caller-provided incumbent vector and turns
+// it into a starting best solution. The vector goes through the same
+// check as any candidate integral point (roundBinaries: integrality to
+// tolerance plus every constraint row), so a stale or corrupt cached
+// solution can never leak into a result — it is simply ignored.
+func seedIncumbent(p *Problem, x []float64) *Solution {
+	if len(x) != p.LP.NumVars {
+		return nil
+	}
+	// roundBinaries snaps first and checks constraints after, so a
+	// far-from-integral vector could sneak in as its rounding; an
+	// incumbent must already be integral to tolerance.
+	for v, isBin := range p.Binary {
+		if isBin && math.Abs(x[v]-math.Round(x[v])) > intTol {
+			return nil
+		}
+	}
+	rounded, ok, _ := roundBinaries(p, x)
+	if !ok {
+		return nil
+	}
+	var obj float64
+	if p.LP.Objective != nil {
+		for j, c := range p.LP.Objective {
+			obj += c * rounded[j]
+		}
+	}
+	return &Solution{Status: lp.Optimal, X: rounded, Objective: obj, Seeded: true}
 }
 
 // mostFractional returns the binary variable farthest from integrality

@@ -169,6 +169,23 @@ func (s *Span) SetBool(key string, v bool) {
 	s.attrs = append(s.attrs, Attr{Key: key, kind: attrBool, b: v})
 }
 
+// SetError marks the span failed: a no-op on nil errors, otherwise it
+// attaches error=true plus the error text. Pair it with a deferred End
+// on functions with a named error return —
+//
+//	defer span.End()
+//	defer func() { span.SetError(err) }()
+//
+// — so every failure path annotates the span without touching the
+// success path.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.SetBool("error", true)
+	s.SetStr("error_msg", err.Error())
+}
+
 // End closes the span and records it into its tracer. End is
 // idempotent — a second call (e.g. a deferred safety End after an
 // explicit one on the success path) is a no-op, as is calling it on a

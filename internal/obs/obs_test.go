@@ -306,3 +306,38 @@ func BenchmarkCounterAdd(b *testing.B) {
 		testCounter.Add(1)
 	}
 }
+
+// TestSpanSetError pins the error-annotation contract: nil errors and
+// nil spans are no-ops, real errors attach the error flag and text.
+func TestSpanSetError(t *testing.T) {
+	tr, _ := fakeTracer()
+	ctx := WithTracer(context.Background(), tr)
+
+	_, ok := Start(ctx, "ok")
+	ok.SetError(nil)
+	ok.End()
+	_, bad := Start(ctx, "bad")
+	bad.SetError(io.ErrUnexpectedEOF)
+	bad.End()
+	var nilSpan *Span
+	nilSpan.SetError(io.ErrUnexpectedEOF) // must not panic
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	attrs := func(s SpanRecord) map[string]any {
+		m := map[string]any{}
+		for _, a := range s.Attrs {
+			m[a.Key] = a.Value()
+		}
+		return m
+	}
+	if a := attrs(spans[0]); len(a) != 0 {
+		t.Errorf("nil error annotated the span: %v", a)
+	}
+	a := attrs(spans[1])
+	if a["error"] != true || a["error_msg"] != io.ErrUnexpectedEOF.Error() {
+		t.Errorf("error attributes = %v", a)
+	}
+}

@@ -50,6 +50,9 @@ type Analysis struct {
 	// analysis may race benignly: every computation yields the same
 	// value.
 	mwl atomic.Int64
+	// fp memoizes Fingerprint (nil = not yet computed), with the same
+	// benign-race contract as mwl.
+	fp atomic.Pointer[Fingerprint]
 }
 
 // NumWindows returns the number of analysis windows.

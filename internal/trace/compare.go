@@ -1,6 +1,10 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/ds"
+)
 
 // diffLimit caps the number of mismatches DiffAnalyses reports so a
 // systematically wrong kernel produces a readable failure, not megabytes.
@@ -71,6 +75,93 @@ func DiffAnalyses(a, b *Analysis) []string {
 					return diffs
 				}
 			}
+		}
+	}
+	return diffs
+}
+
+// CountDiffs counts the constraint entries on which two same-shape
+// analyses disagree: dense load cells (Comm, CritComm), logical sparse
+// overlap cells (value-based — a stored zero equals an absent cell, so
+// the count measures problem distance, not build history) and aggregate
+// overlap entries. It is the delta-size measure the design cache uses
+// to decide whether a cached binding is close enough to warm-start a
+// re-solve. ok is false when the analyses have different shapes
+// (receiver count or window edges), in which case no meaningful entry
+// count exists. Counting stops early once the count exceeds limit
+// (limit <= 0 means unlimited), so probing "is the delta under N?"
+// against a far-away analysis stays cheap.
+func CountDiffs(a, b *Analysis, limit int) (diffs int, ok bool) {
+	if a.NumReceivers != b.NumReceivers || len(a.Boundaries) != len(b.Boundaries) {
+		return 0, false
+	}
+	for m := range a.Boundaries {
+		if a.Boundaries[m] != b.Boundaries[m] {
+			return 0, false
+		}
+	}
+	over := func() bool { return limit > 0 && diffs > limit }
+
+	nT, nW := a.NumReceivers, a.NumWindows()
+	for i := 0; i < nT; i++ {
+		ar, br := a.Comm.Row(i), b.Comm.Row(i)
+		cr, dr := a.CritComm.Row(i), b.CritComm.Row(i)
+		for m := 0; m < nW; m++ {
+			if ar[m] != br[m] {
+				diffs++
+			}
+			if cr[m] != dr[m] {
+				diffs++
+			}
+		}
+		if over() {
+			return diffs, true
+		}
+	}
+	for _, pair := range [2][2]*ds.SparseInt64Matrix{{a.Overlap, b.Overlap}, {a.CritOverlap, b.CritOverlap}} {
+		am, bm := pair[0], pair[1]
+		for r := 0; r < am.Rows; r++ {
+			diffs += countSparseRowDiffs(am.RowCells(r), bm.RowCells(r))
+			if over() {
+				return diffs, true
+			}
+		}
+	}
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			if a.OM.At(i, j) != b.OM.At(i, j) {
+				diffs++
+			}
+		}
+		if over() {
+			return diffs, true
+		}
+	}
+	return diffs, true
+}
+
+// countSparseRowDiffs merge-walks two sorted sparse rows and counts the
+// columns whose logical values differ (absent == 0).
+func countSparseRowDiffs(x, y []ds.SparseCell) int {
+	diffs, i, j := 0, 0, 0
+	for i < len(x) || j < len(y) {
+		switch {
+		case j >= len(y) || (i < len(x) && x[i].Col < y[j].Col):
+			if x[i].Val != 0 {
+				diffs++
+			}
+			i++
+		case i >= len(x) || y[j].Col < x[i].Col:
+			if y[j].Val != 0 {
+				diffs++
+			}
+			j++
+		default:
+			if x[i].Val != y[j].Val {
+				diffs++
+			}
+			i++
+			j++
 		}
 	}
 	return diffs

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"repro/internal/ds"
+)
+
+// Fingerprint is a stable content hash used to address designs in the
+// cross-request cache (internal/cache). Two analyses with equal
+// solver-visible content — same receiver count, window edges, per-window
+// loads, overlap tables and aggregate overlap matrix — fingerprint
+// equal regardless of which kernel produced them or in what order their
+// sparse rows were built.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex (the on-disk cache
+// file name).
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// analysisFPTag versions the canonical encoding below. Bump it whenever
+// the byte layout changes so stale cache entries can never alias fresh
+// fingerprints.
+const analysisFPTag = "stbus.analysis.v1"
+
+// fpWriter streams fixed-width little-endian words into a hash through
+// a small buffer, keeping the per-value cost at a few appends instead
+// of one hash.Write call per matrix cell.
+type fpWriter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func newFPWriter(h hash.Hash) *fpWriter { return &fpWriter{h: h, buf: make([]byte, 0, 4096)} }
+
+func (w *fpWriter) flush() {
+	if len(w.buf) > 0 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *fpWriter) i64(v int64) {
+	if cap(w.buf)-len(w.buf) < 8 {
+		w.flush()
+	}
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v))
+}
+
+func (w *fpWriter) str(s string) {
+	w.i64(int64(len(s)))
+	w.flush()
+	w.h.Write([]byte(s))
+}
+
+// Fingerprint returns the content hash of the analysis. The result is
+// computed once and memoized (same benign-race contract as
+// MaxWindowLoad: concurrent first calls all compute the same value).
+// The analysis must not be mutated after the first call.
+func (a *Analysis) Fingerprint() Fingerprint {
+	if p := a.fp.Load(); p != nil {
+		return *p
+	}
+	f := a.fingerprint()
+	a.fp.Store(&f)
+	return f
+}
+
+// fingerprint serializes the canonical form: a version tag, the shape,
+// the dense load matrices, the sparse overlap tables with zero-valued
+// stored cells skipped (so the hash depends on logical content, not on
+// which kernel happened to store an explicit zero), and the aggregate
+// overlap upper triangle.
+func (a *Analysis) fingerprint() Fingerprint {
+	h := sha256.New()
+	w := newFPWriter(h)
+	w.str(analysisFPTag)
+	nT := a.NumReceivers
+	w.i64(int64(nT))
+	w.i64(int64(len(a.Boundaries)))
+	for _, b := range a.Boundaries {
+		w.i64(b)
+	}
+	for i := 0; i < nT; i++ {
+		for _, v := range a.Comm.Row(i) {
+			w.i64(v)
+		}
+		for _, v := range a.CritComm.Row(i) {
+			w.i64(v)
+		}
+	}
+	for _, sp := range []*ds.SparseInt64Matrix{a.Overlap, a.CritOverlap} {
+		for r := 0; r < sp.Rows; r++ {
+			cells := sp.RowCells(r)
+			nnz := 0
+			for _, c := range cells {
+				if c.Val != 0 {
+					nnz++
+				}
+			}
+			w.i64(int64(nnz))
+			for _, c := range cells {
+				if c.Val != 0 {
+					w.i64(int64(c.Col))
+					w.i64(c.Val)
+				}
+			}
+		}
+	}
+	for i := 0; i < nT; i++ {
+		for j := i + 1; j < nT; j++ {
+			w.i64(a.OM.At(i, j))
+		}
+	}
+	w.flush()
+	var f Fingerprint
+	h.Sum(f[:0])
+	return f
+}
+
+// Clone returns a deep copy of the analysis sharing no storage with the
+// original. Memoized values (MaxWindowLoad, Fingerprint) are not
+// carried over: a clone is typically about to be perturbed.
+func (a *Analysis) Clone() *Analysis {
+	return &Analysis{
+		NumReceivers: a.NumReceivers,
+		Boundaries:   append([]int64(nil), a.Boundaries...),
+		Comm:         a.Comm.Clone(),
+		CritComm:     a.CritComm.Clone(),
+		Overlap:      a.Overlap.Clone(),
+		CritOverlap:  a.CritOverlap.Clone(),
+		OM:           a.OM.Clone(),
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	stbusgen "repro"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // TestDesignerTraceCoverage runs the full Designer pipeline under a
@@ -88,5 +90,60 @@ func TestDesignerTracedMatchesUntraced(t *testing.T) {
 		if traced.Pair.Resp.BusOf[i] != b {
 			t.Fatalf("response binding differs with tracing at receiver %d", i)
 		}
+	}
+}
+
+// TestDesignerSpanRecordsError: a failed design run annotates its root
+// span with the error, so a trace of a failed run explains itself; a
+// successful run stays unannotated.
+func TestDesignerSpanRecordsError(t *testing.T) {
+	// Two receivers overlapping across the whole horizon, zero overlap
+	// tolerance, one bus allowed: provably infeasible.
+	tr2 := &trace.Trace{NumReceivers: 2, NumSenders: 1, Horizon: 100}
+	for r := 0; r < 2; r++ {
+		tr2.Events = append(tr2.Events, trace.Event{Start: 0, Len: 100, Receiver: r})
+	}
+	opts := stbusgen.DefaultOptions()
+	opts.OverlapThreshold = 0
+	opts.MaxPerBus = 0
+	opts.MaxBuses = 1
+
+	rec := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), rec)
+	if _, err := stbusgen.NewDesigner(opts).DesignTrace(ctx, tr2, 100); err == nil {
+		t.Fatal("infeasible case designed successfully")
+	}
+	spanAttrs := func(rec *obs.Tracer) map[string]any {
+		for _, s := range rec.Spans() {
+			if s.Name == "designer.design_trace" {
+				m := map[string]any{}
+				for _, a := range s.Attrs {
+					m[a.Key] = a.Value()
+				}
+				return m
+			}
+		}
+		t.Fatal("no designer.design_trace span recorded")
+		return nil
+	}
+	attrs := spanAttrs(rec)
+	if attrs["error"] != true {
+		t.Errorf("failed run not marked on its span: %v", attrs)
+	}
+	msg, _ := attrs["error_msg"].(string)
+	if !strings.Contains(msg, "feasible") {
+		t.Errorf("error_msg = %q, want the infeasibility error", msg)
+	}
+
+	// Success leaves no error attributes behind.
+	opts.MaxBuses = 0
+	opts.OverlapThreshold = 0.9
+	rec = obs.NewTracer()
+	ctx = obs.WithTracer(context.Background(), rec)
+	if _, err := stbusgen.NewDesigner(opts).DesignTrace(ctx, tr2, 100); err != nil {
+		t.Fatal(err)
+	}
+	if attrs := spanAttrs(rec); attrs["error"] != nil {
+		t.Errorf("successful run carries error attributes: %v", attrs)
 	}
 }

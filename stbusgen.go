@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -56,7 +57,24 @@ type (
 	// SimResult is a cycle-accurate simulation outcome (latency
 	// statistics, traces, utilization).
 	SimResult = sim.Result
+	// Cache is the design-reuse interface consulted through
+	// Options.Cache: exact content hits skip the solver entirely, near
+	// hits warm-start it. Results are bit-identical to cold solves.
+	Cache = core.Cache
+	// CacheConfig tunes NewCache (capacity, on-disk tier, warm-start
+	// delta tolerance).
+	CacheConfig = cache.Config
+	// DesignCache is the content-addressed LRU (+ optional disk)
+	// implementation of Cache from internal/cache.
+	DesignCache = cache.Store
 )
+
+// NewCache builds the standard design cache; assign it to
+// Options.Cache to make every design run through it reuse-aware:
+//
+//	opts := stbusgen.DefaultOptions()
+//	opts.Cache = stbusgen.NewCache(stbusgen.CacheConfig{Dir: ".stbus-cache"})
+func NewCache(cfg CacheConfig) *DesignCache { return cache.New(cfg) }
 
 // DefaultOptions returns the paper's main parameter set: 30% overlap
 // threshold, critical-stream separation, at most 4 targets per bus,
