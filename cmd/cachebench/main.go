@@ -75,7 +75,12 @@ func run(ctx context.Context) (err error) {
 	opts.MaxPerBus = 8
 	opts.OptimizeBinding = false
 	opts.Engine = core.EngineMILP
+	// Pinned to one worker so runs compare across hosts; -workers
+	// overrides for experiments (the designs are identical either way).
 	opts.Workers = 1
+	if w := cli.Workers(); w > 0 {
+		opts.Workers = w
+	}
 	design, err := core.DesignCrossbarCtx(ctx, baseA, opts)
 	if err != nil {
 		return err

@@ -32,7 +32,7 @@ var (
 	maxtb      = flag.Int("maxtb", 4, "maximum receivers per bus (0 = unlimited)")
 	noBind     = flag.Bool("no-binding", false, "skip the optimal-binding phase")
 	noCrit     = flag.Bool("no-critical", false, "do not separate overlapping critical streams")
-	engine     = flag.String("engine", "bb", "solver engine: bb (branch and bound), milp, or anneal")
+	engine     = flag.String("engine", "bb", "solver engine: bb (branch and bound), milp, anneal, or portfolio (race bb and milp per probe)")
 	jsonTrace  = flag.Bool("json", false, "trace file is JSON")
 	netlist    = flag.String("netlist", "", "also write a JSON netlist of the designed direction (paired with a full crossbar for the other direction)")
 	structural = flag.Bool("structural", false, "print a structural-HDL rendering of the design")
@@ -75,6 +75,7 @@ func run(ctx context.Context) (err error) {
 		SeparateCritical: !*noCrit,
 		MaxPerBus:        *maxtb,
 		OptimizeBinding:  !*noBind,
+		Workers:          cli.Workers(),
 	}
 	switch *engine {
 	case "bb":
@@ -83,8 +84,10 @@ func run(ctx context.Context) (err error) {
 		opts.Engine = core.EngineMILP
 	case "anneal":
 		opts.Engine = core.EngineAnneal
+	case "portfolio":
+		opts.Engine = core.EnginePortfolio
 	default:
-		return fmt.Errorf("unknown -engine %q (want bb, milp or anneal)", *engine)
+		return fmt.Errorf("unknown -engine %q (want bb, milp, anneal or portfolio)", *engine)
 	}
 	if *cacheDir != "" {
 		opts.Cache = cache.New(cache.Config{Dir: *cacheDir})

@@ -9,7 +9,7 @@ import (
 	"repro/internal/trace"
 )
 
-// SolverPath is one of the three design-engine configurations whose
+// SolverPath is one of the design-engine configurations whose
 // agreement the differential harness asserts.
 type SolverPath struct {
 	// Name identifies the path in disagreement reports.
@@ -19,10 +19,12 @@ type SolverPath struct {
 	Configure func(core.Options) core.Options
 }
 
-// Paths returns the three solver paths pinned by the harness: the
+// Paths returns the solver paths pinned by the harness: the
 // specialized exact assignment search, the warm-started incremental
-// MILP, and the legacy cold-restart MILP kept behind Options.MILPLegacy
-// (milp.Options.Cold).
+// MILP, the legacy cold-restart MILP kept behind Options.MILPLegacy
+// (milp.Options.Cold), and the racing portfolio, which must land on
+// the same bus count and objective as the engines it races no matter
+// which contestant wins each probe.
 func Paths() []SolverPath {
 	return []SolverPath{
 		{Name: "assign", Configure: func(o core.Options) core.Options {
@@ -37,6 +39,10 @@ func Paths() []SolverPath {
 		{Name: "milp-cold", Configure: func(o core.Options) core.Options {
 			o.Engine = core.EngineMILP
 			o.MILPLegacy = true
+			return o
+		}},
+		{Name: "portfolio", Configure: func(o core.Options) core.Options {
+			o.Engine = core.EnginePortfolio
 			return o
 		}},
 	}
@@ -89,6 +95,12 @@ func (o *DiffOutcome) Disagreements() []string {
 	for _, v := range o.Verdicts {
 		if !v.Feasible {
 			continue
+		}
+		if v.Design.Capped {
+			// The differential cases are sized so every engine proves its
+			// answer; a budget-capped (unproven) design here means a path
+			// silently degraded to best-effort.
+			out = append(out, fmt.Sprintf("capped(%s): returned an unproven design on a case every path must prove", v.Path))
 		}
 		if rep := Audit(v.Design, o.Analysis, o.Case.Opts); !rep.OK() {
 			out = append(out, fmt.Sprintf("audit(%s): %v", v.Path, rep.Err()))

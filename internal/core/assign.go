@@ -166,6 +166,15 @@ type searchState struct {
 	optimize bool
 	capped   bool  // node budget exhausted
 	stopErr  error // context cancellation observed mid-search
+
+	// Parallel-solve fields (see parallel.go). par is nil on the
+	// sequential path, keeping it bit-identical to the pre-parallel
+	// solver; when set, the worker prunes against the cross-worker
+	// incumbent, charges nodes to the shared budget, and abandons
+	// feasibility subtrees outranked by an already-found witness.
+	par     *parShared
+	subtree int  // index of the frontier subtree being explored
+	aborted bool // feasibility subtree abandoned (lower-index witness exists)
 }
 
 // cancelCheckMask throttles context polling in the hot search loop:
@@ -210,34 +219,7 @@ func (p *assignProblem) solveSeeded(ctx context.Context, nB int, optimize bool, 
 	if err := ctx.Err(); err != nil {
 		return nil, canceledErr(ctx)
 	}
-	nW := len(p.ws)
-	st := &searchState{
-		p:        p,
-		ctx:      ctx,
-		nB:       nB,
-		busOf:    make([]int, p.nT),
-		load:     make([][]int64, nB),
-		count:    make([]int, nB),
-		overlap:  make([]int64, nB),
-		total:    make([]int64, nW),
-		suffix:   make([][]int64, p.nT+1),
-		optimize: optimize,
-		best:     int64(1) << 62,
-	}
-	for t := range st.busOf {
-		st.busOf[t] = -1
-	}
-	for b := range st.load {
-		st.load[b] = make([]int64, nW)
-	}
-	st.suffix[p.nT] = make([]int64, nW)
-	for idx := p.nT - 1; idx >= 0; idx-- {
-		st.suffix[idx] = make([]int64, nW)
-		t := p.order[idx]
-		for w := 0; w < nW; w++ {
-			st.suffix[idx][w] = st.suffix[idx+1][w] + p.comm[t][w]
-		}
-	}
+	st := p.newSearchState(ctx, nB, optimize, nil)
 
 	if optimize {
 		// Seed the incumbent with a greedy min-overlap binding so the
@@ -285,6 +267,44 @@ func (p *assignProblem) solveSeeded(ctx context.Context, nB int, optimize bool, 
 	return res, nil
 }
 
+// newSearchState builds the backtracking state for one solve of p into
+// nB buses. suffix, when non-nil, is a prebuilt suffix-demand table
+// shared read-only across parallel workers; nil computes it fresh.
+func (p *assignProblem) newSearchState(ctx context.Context, nB int, optimize bool, suffix [][]int64) *searchState {
+	nW := len(p.ws)
+	st := &searchState{
+		p:        p,
+		ctx:      ctx,
+		nB:       nB,
+		busOf:    make([]int, p.nT),
+		load:     make([][]int64, nB),
+		count:    make([]int, nB),
+		overlap:  make([]int64, nB),
+		total:    make([]int64, nW),
+		suffix:   suffix,
+		optimize: optimize,
+		best:     int64(1) << 62,
+	}
+	for t := range st.busOf {
+		st.busOf[t] = -1
+	}
+	for b := range st.load {
+		st.load[b] = make([]int64, nW)
+	}
+	if st.suffix == nil {
+		st.suffix = make([][]int64, p.nT+1)
+		st.suffix[p.nT] = make([]int64, nW)
+		for idx := p.nT - 1; idx >= 0; idx-- {
+			st.suffix[idx] = make([]int64, nW)
+			t := p.order[idx]
+			for w := 0; w < nW; w++ {
+				st.suffix[idx][w] = st.suffix[idx+1][w] + p.comm[t][w]
+			}
+		}
+	}
+	return st
+}
+
 // dfs places targets order[idx:]; curMax is the running binding
 // objective. In feasibility mode it returns true at the first complete
 // assignment (leaving st.busOf filled); in optimize mode it records
@@ -293,13 +313,28 @@ func (p *assignProblem) solveSeeded(ctx context.Context, nB int, optimize bool, 
 func (st *searchState) dfs(idx int, curMax int64) bool {
 	p := st.p
 	st.nodes++
-	if st.nodes > p.maxNodes {
+	if st.par == nil && st.nodes > p.maxNodes {
 		st.capped = true
 		return false
 	}
 	if st.nodes&cancelCheckMask == 0 {
 		metNodes.Add(st.nodes - st.flushed)
-		st.flushed = st.nodes
+		if st.par != nil {
+			// The budget is shared across workers: charge this worker's
+			// delta and stop once the global count runs out.
+			global := st.par.nodes.Add(st.nodes - st.flushed)
+			st.flushed = st.nodes
+			if global > p.maxNodes {
+				st.capped = true
+				return false
+			}
+			if !st.optimize && st.par.bestFeas.Load() < int64(st.subtree) {
+				st.aborted = true // a lower-index subtree holds a witness
+				return false
+			}
+		} else {
+			st.flushed = st.nodes
+		}
 		if err := st.ctx.Err(); err != nil {
 			st.stopErr = canceledErr(st.ctx)
 			st.capped = true // unwind through the capped fast path
@@ -311,6 +346,9 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 			if curMax < st.best {
 				st.best = curMax
 				st.bestBus = append([]int(nil), st.busOf...)
+				if st.par != nil {
+					st.par.offerBound(curMax)
+				}
 			}
 			return false
 		}
@@ -362,8 +400,18 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 					added += p.om.At(t, other)
 				}
 			}
-			if newOv := st.overlap[b] + added; newOv >= st.best {
+			newOv := st.overlap[b] + added
+			if newOv >= st.best {
 				continue // cannot improve the incumbent
+			}
+			// Cross-worker incumbent: st.par.bound holds the objective of
+			// a binding some worker (or the annealing feeder) has already
+			// realized, so strictly worse subtrees are dead. The
+			// comparison is strict — ties are still explored — which is
+			// what keeps parallel bindings bit-identical to sequential
+			// (see the determinism contract in parallel.go).
+			if st.par != nil && newOv > st.par.bound.Load() {
+				continue
 			}
 		}
 		// Place.
@@ -396,7 +444,7 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 		if newBus {
 			st.used--
 		}
-		if st.capped {
+		if st.capped || st.aborted {
 			return false
 		}
 	}

@@ -4,18 +4,21 @@ import "math/bits"
 
 // maxClique returns the size of a maximum clique of the conflict graph
 // — an exact lower bound on the number of buses, since every member of
-// a clique needs its own bus. Worst-case exponential, but with bitmask
-// pruning it is instantaneous at STbus sizes (≤ 32 receivers, which is
-// also what lets the whole graph fit one uint64 mask per vertex).
-// Graphs larger than 64 vertices fall back to a greedy clique (still a
-// valid lower bound).
+// a clique needs its own bus. Graphs up to 64 vertices run a
+// single-word Bron–Kerbosch-style search (instantaneous at STbus
+// sizes); larger graphs run a multi-word-bitset branch and bound with a
+// greedy-coloring upper bound (Tomita-style), exact up to a node budget
+// that covers the 128–512-receiver instances the scaled solver targets.
+// Only if that budget runs out does the result degrade to the best
+// clique found so far — still a valid lower bound, never an
+// overestimate.
 func maxClique(conflict [][]bool) int {
 	n := len(conflict)
 	if n == 0 {
 		return 0
 	}
 	if n > 64 {
-		return greedyClique(conflict)
+		return maxCliqueLarge(conflict)
 	}
 	adj := make([]uint64, n)
 	for i := 0; i < n; i++ {
@@ -63,9 +66,165 @@ func maxClique(conflict [][]bool) int {
 	return best
 }
 
+// cliqueNodeBudget bounds the large-graph exact search. Conflict graphs
+// of real window analyses are sparse-to-moderate and color-bounded
+// search settles them in well under this; the budget exists so a
+// pathological dense graph cannot stall the pre-search bound
+// computation (the search degrades to its running best, which stays a
+// valid lower bound).
+const cliqueNodeBudget = 2_000_000
+
+// wordset is a flat multi-word bitset over the vertices of one clique
+// search. All operations are allocation-free against caller scratch.
+type wordset []uint64
+
+func newWordset(n int) wordset { return make(wordset, (n+63)/64) }
+
+func (s wordset) set(i int)      { s[i>>6] |= 1 << uint(i&63) }
+func (s wordset) clear(i int)    { s[i>>6] &^= 1 << uint(i&63) }
+func (s wordset) has(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (s wordset) count() int {
+	total := 0
+	for _, w := range s {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+func (s wordset) empty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// intersectInto writes a∩b into dst (all same length).
+func (dst wordset) intersectInto(a, b wordset) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+func (dst wordset) copyFrom(src wordset) { copy(dst, src) }
+
+// maxCliqueLarge is the exact search for graphs past the single-word
+// limit: branch and bound over multi-word candidate bitsets, ordered
+// and bounded by a greedy coloring of the candidate set (a proper
+// coloring with c colors proves no clique larger than size+c hides in
+// the candidates — the classic Tomita bound, far tighter than the
+// popcount bound at these sizes).
+func maxCliqueLarge(conflict [][]bool) int {
+	n := len(conflict)
+	adj := make([]wordset, n)
+	for i := 0; i < n; i++ {
+		adj[i] = newWordset(n)
+		for j := 0; j < n; j++ {
+			if i != j && conflict[i][j] {
+				adj[i].set(j)
+			}
+		}
+	}
+
+	// Seed the incumbent with the greedy clique so even an immediately
+	// exhausted budget returns a useful bound.
+	best := greedyClique(conflict)
+	nodes := 0
+	capped := false
+
+	// Scratch stacks: one candidate set and one color-order buffer per
+	// depth (depth ≤ n). Allocated once up front.
+	words := len(adj[0])
+	candStack := make([]wordset, n+1)
+	for i := range candStack {
+		candStack[i] = make(wordset, words)
+	}
+	orderBuf := make([][]int32, n+1)
+	colorBuf := make([][]int32, n+1)
+	for i := range orderBuf {
+		orderBuf[i] = make([]int32, 0, n)
+		colorBuf[i] = make([]int32, 0, n)
+	}
+	uncolored := make(wordset, words)
+	classAvail := make(wordset, words)
+
+	// colorSort greedily colors the candidate set and returns the
+	// vertices in increasing color order with their color numbers
+	// (1-based). The buffers are shared across depths, which is safe
+	// because each expand finishes its coloring before recursing.
+	colorSort := func(p wordset, depth int) ([]int32, []int32) {
+		order := orderBuf[depth][:0]
+		colors := colorBuf[depth][:0]
+		uncolored.copyFrom(p)
+		color := int32(0)
+		for !uncolored.empty() {
+			color++
+			// One color class: repeatedly take the lowest uncolored
+			// vertex not adjacent to anything already in the class.
+			classAvail.copyFrom(uncolored)
+			for wi := 0; wi < words; wi++ {
+				for w := classAvail[wi]; w != 0; w = classAvail[wi] {
+					v := int32(wi*64 + bits.TrailingZeros64(w))
+					uncolored.clear(int(v))
+					classAvail.clear(int(v))
+					// Remove v's neighbours from the current class.
+					for k := 0; k < words; k++ {
+						classAvail[k] &^= adj[v][k]
+					}
+					order = append(order, v)
+					colors = append(colors, color)
+				}
+			}
+		}
+		orderBuf[depth] = order
+		colorBuf[depth] = colors
+		return order, colors
+	}
+
+	var expand func(size, depth int, p wordset)
+	expand = func(size, depth int, p wordset) {
+		nodes++
+		if nodes > cliqueNodeBudget {
+			capped = true
+			return
+		}
+		order, colors := colorSort(p, depth)
+		// Branch highest color first: the color bound prunes earliest
+		// and each removal shrinks later siblings' candidate sets.
+		for i := len(order) - 1; i >= 0; i-- {
+			if capped {
+				return
+			}
+			v := order[i]
+			if size+int(colors[i]) <= best {
+				return // every remaining vertex has a smaller-or-equal color
+			}
+			child := candStack[depth+1]
+			child.intersectInto(p, adj[v])
+			if child.empty() {
+				if size+1 > best {
+					best = size + 1
+				}
+			} else {
+				expand(size+1, depth+1, child)
+			}
+			p.clear(int(v))
+		}
+	}
+
+	root := candStack[0]
+	for i := 0; i < n; i++ {
+		root.set(i)
+	}
+	expand(0, 0, root)
+	return best
+}
+
 // greedyClique grows a clique greedily by descending degree — a valid
-// (possibly loose) lower bound for graphs too large for the exact
-// search.
+// (possibly loose) lower bound used to seed the exact searches and as
+// the last resort when the large-graph node budget runs out.
 func greedyClique(conflict [][]bool) int {
 	n := len(conflict)
 	deg := make([]int, n)

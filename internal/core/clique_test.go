@@ -106,3 +106,138 @@ func TestMaxCliqueQuickAgainstBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxCliqueLargeAgainstSmall: random graphs straddling the
+// single-word limit must agree between the multi-word exact search and
+// the uint64 path (both exact, so equal — validated by running the same
+// adjacency through both entry sizes via padding with isolated
+// vertices).
+func TestMaxCliqueLargeAgainstSmall(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		n := 30 + rng.Intn(30) // 30..59: single-word path
+		g := make([][]bool, n)
+		for i := range g {
+			g[i] = make([]bool, n)
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Intn(4) != 0 {
+					g[i][j], g[j][i] = true, true
+				}
+			}
+		}
+		want := maxClique(g)
+		// Pad with isolated vertices past 64 so the same graph runs the
+		// multi-word path; isolated vertices change the clique number
+		// only when the graph is empty (clique 1).
+		padded := cliqueGraph(70, nil)
+		for i := 0; i < n; i++ {
+			copy(padded[i], append(g[i], make([]bool, 70-n)...))
+		}
+		got := maxClique(padded)
+		if want > 1 && got != want {
+			t.Errorf("seed %d (n=%d): multi-word clique %d, single-word %d", seed, n, got, want)
+		}
+	}
+}
+
+// plantClique embeds a known k-clique into a sparse random graph on n
+// vertices; the planted clique is the maximum when the background
+// density is low enough that no larger clique arises by chance.
+func plantClique(n, k int, density float64, seed int64) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	g := make([][]bool, n)
+	for i := range g {
+		g[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				g[i][j], g[j][i] = true, true
+			}
+		}
+	}
+	members := rng.Perm(n)[:k]
+	for _, a := range members {
+		for _, b := range members {
+			if a != b {
+				g[a][b] = true
+			}
+		}
+	}
+	return g
+}
+
+// TestMaxCliqueBeyond64 exercises the multi-word exact search at the
+// sizes the scaled solver targets: 65, 128 and 512 vertices. The exact
+// result must find the planted clique and never fall below the greedy
+// bound (the fallback it replaces).
+func TestMaxCliqueBeyond64(t *testing.T) {
+	cases := []struct {
+		n, k    int
+		density float64
+	}{
+		{65, 9, 0.08},
+		{128, 12, 0.06},
+		{512, 16, 0.02},
+	}
+	for _, c := range cases {
+		g := plantClique(c.n, c.k, c.density, int64(c.n))
+		got := maxClique(g)
+		if got < c.k {
+			t.Errorf("n=%d: maxClique = %d, planted clique has %d", c.n, got, c.k)
+		}
+		if gr := greedyClique(g); got < gr {
+			t.Errorf("n=%d: exact clique %d below greedy bound %d", c.n, got, gr)
+		}
+	}
+}
+
+// TestMaxCliqueBeyond64Structured pins exact values on structured
+// graphs where the clique number is known by construction: disjoint
+// K8 blocks (clique 8) and a complete multipartite graph with parts of
+// size 4 (clique = number of parts).
+func TestMaxCliqueBeyond64Structured(t *testing.T) {
+	// 16 disjoint K8s on 128 vertices.
+	g := cliqueGraph(128, nil)
+	for blk := 0; blk < 16; blk++ {
+		for i := 0; i < 8; i++ {
+			for j := 0; j < 8; j++ {
+				if i != j {
+					g[blk*8+i][blk*8+j] = true
+				}
+			}
+		}
+	}
+	if got := maxClique(g); got != 8 {
+		t.Errorf("disjoint K8s: clique = %d, want 8", got)
+	}
+
+	// Complete 32-partite graph with parts of 4 on 128 vertices:
+	// vertices conflict unless they share a part; clique number 32.
+	m := cliqueGraph(128, nil)
+	for i := 0; i < 128; i++ {
+		for j := 0; j < 128; j++ {
+			if i != j && i/4 != j/4 {
+				m[i][j] = true
+			}
+		}
+	}
+	if got := maxClique(m); got != 32 {
+		t.Errorf("32-partite: clique = %d, want 32", got)
+	}
+
+	// 512-vertex complete multipartite: 64 parts of 8, clique 64.
+	big := cliqueGraph(512, nil)
+	for i := 0; i < 512; i++ {
+		for j := 0; j < 512; j++ {
+			if i != j && i/8 != j/8 {
+				big[i][j] = true
+			}
+		}
+	}
+	if got := maxClique(big); got != 64 {
+		t.Errorf("64-partite on 512: clique = %d, want 64", got)
+	}
+}

@@ -59,6 +59,15 @@ const (
 	// for instances near the STbus limit of 32 targets where the exact
 	// binding search may be slow.
 	EngineAnneal
+	// EnginePortfolio races the parallel branch and bound against the
+	// warm-started MILP on every probe under one context — the first
+	// proven answer cancels the rest — with annealing feeding incumbents
+	// into the shared bound during the binding phase. Exact results
+	// whenever either contestant settles within budget; past the budget
+	// it degrades to the best incumbent with Design.Capped set instead
+	// of failing (see portfolio.go). The engine for the 128–512-target
+	// scale where no single solver dominates.
+	EnginePortfolio
 )
 
 func (e Engine) String() string {
@@ -69,6 +78,8 @@ func (e Engine) String() string {
 		return "milp"
 	case EngineAnneal:
 		return "anneal"
+	case EnginePortfolio:
+		return "portfolio"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -103,13 +114,17 @@ type Options struct {
 	// to benchmark the warm-started engine against its predecessor and
 	// as an escape hatch; it does not affect the other engines.
 	MILPLegacy bool
-	// Workers bounds the speculative parallelism of the feasibility
-	// binary search: up to Workers candidate bus counts are probed
-	// concurrently, with obsoleted probes canceled as soon as a sibling
-	// result narrows the range past them. 0 means GOMAXPROCS; 1 is the
-	// serial binary search. The designed crossbar is identical for
-	// every Workers value (the search only narrows on proven
-	// feasibility facts, and each per-count solve is deterministic).
+	// Workers bounds the solver parallelism on two levels: up to Workers
+	// candidate bus counts are probed concurrently during the
+	// feasibility search (obsoleted probes canceled as soon as a sibling
+	// result narrows the range past them), and each branch-and-bound
+	// solve splits its search tree across up to Workers goroutines with
+	// a shared pruning incumbent (see parallel.go). 0 means GOMAXPROCS;
+	// 1 is fully serial. The designed crossbar is identical for every
+	// Workers value: the search only narrows on proven feasibility
+	// facts, each per-count solve is deterministic, and the parallel
+	// branch and bound is bit-identical to the sequential one by
+	// construction.
 	Workers int
 	// Audit re-checks every produced design against the paper's
 	// constraints (Eq. 3–9, Eq. 11 objective consistency) with the
@@ -190,7 +205,7 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", o.Workers)
 	}
 	switch o.Engine {
-	case EngineBranchBound, EngineMILP, EngineAnneal:
+	case EngineBranchBound, EngineMILP, EngineAnneal, EnginePortfolio:
 	default:
 		return fmt.Errorf("core: unknown engine %d", int(o.Engine))
 	}
@@ -228,14 +243,15 @@ type Design struct {
 	SearchNodes int64
 	// Engine records which solver produced the design.
 	Engine Engine
-	// Capped reports that the binding-phase search exhausted its node
-	// budget (Options.MaxNodes) before proving optimality: BusOf is the
-	// best incumbent found — feasible, but possibly suboptimal, so
-	// MaxBusOverlap is an upper bound on the optimum rather than the
-	// optimum itself. The feasibility phase never sets it (a capped
-	// feasibility probe fails with ErrSearchLimit instead), and
-	// EngineAnneal designs are heuristic by contract, so Capped stays
-	// false there.
+	// Capped reports a result that is feasible but not fully proven
+	// within the node budget (Options.MaxNodes): the binding-phase
+	// search ran out before proving optimality — BusOf is the best
+	// incumbent found and MaxBusOverlap an upper bound on the optimum —
+	// or, for EnginePortfolio only, some bus count below NumBuses
+	// exhausted every contestant undecided, so NumBuses is feasible but
+	// its minimality is unproven (anytime semantics; the other engines
+	// fail such searches with ErrSearchLimit instead). EngineAnneal
+	// designs are heuristic by contract, so Capped stays false there.
 	Capped bool
 }
 
@@ -366,20 +382,27 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		}
 		formulator = NewFormulator(a, conflicts, maxPerBus, sym)
 	}
+	workers := conc.Workers(opts.Workers)
+	var pf *portfolio
+	if opts.Engine == EnginePortfolio {
+		pf = newPortfolio(prob, a, conflicts, maxPerBus, workers)
+	}
 
 	rawSolve := func(ctx context.Context, k int, optimize bool) (*assignResult, error) {
 		switch {
 		case opts.Engine == EngineMILP:
 			return solveFormulated(ctx, formulator, k, optimize, milp.Options{Cold: opts.MILPLegacy})
+		case opts.Engine == EnginePortfolio:
+			return pf.solve(ctx, k, optimize)
 		case opts.Engine == EngineAnneal && optimize:
-			res, err := prob.solve(ctx, k, false)
+			res, err := prob.solveAuto(ctx, k, false, workers, nil, 0, nil)
 			if err != nil || !res.feasible {
 				return res, err
 			}
 			busOf, obj := AnnealBinding(a, conflicts, k, maxPerBus, res.busOf, AnnealParams{Seed: 1})
 			return &assignResult{feasible: true, busOf: busOf, maxOverlap: obj, nodes: res.nodes}, nil
 		default:
-			return prob.solve(ctx, k, optimize)
+			return prob.solveAuto(ctx, k, optimize, workers, nil, 0, nil)
 		}
 	}
 	// Every probe — serial, speculative, or the final binding solve —
@@ -407,7 +430,7 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		sp.SetBool("optimize", true)
 		sp.SetBool("seeded", true)
 		metProbes.Inc()
-		res, err := prob.solveSeeded(ctx, k, true, seedBus, seedObj)
+		res, err := prob.solveAuto(ctx, k, true, workers, seedBus, seedObj, nil)
 		if err == nil && res != nil {
 			sp.SetBool("feasible", res.feasible)
 			sp.SetInt("nodes", res.nodes)
@@ -425,6 +448,23 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	sctx, searchSpan := obs.Start(ctx, "core.search")
 	searchSpan.SetInt("lb", int64(lb))
 	searchSpan.SetInt("ub", int64(ub))
+	// The portfolio engine gets anytime semantics: probes undecided
+	// after every contestant's budget are treated as infeasible so the
+	// search keeps narrowing, and the tracker flags the design Capped
+	// when its minimality rests on such an assumption. A greedy-success
+	// upper bound pre-narrows the cold search range for free.
+	var und undecidedTracker
+	feasSolve := solve
+	gub, gubRes := -1, (*assignResult)(nil)
+	if opts.Engine == EnginePortfolio {
+		feasSolve = und.wrap(solve)
+		if warmK < 0 {
+			gub, gubRes = greedyUpperBound(prob, lb, ub)
+			if gub >= 0 {
+				searchSpan.SetInt("greedy_ub", int64(gub))
+			}
+		}
+	}
 	var (
 		best          int
 		firstFeasible *assignResult
@@ -433,9 +473,16 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	)
 	if warmK >= 0 {
 		searchSpan.SetBool("warm", true)
-		best, firstFeasible, nodes, err = searchBelowIncumbent(sctx, lb, warmK, conc.Workers(opts.Workers), solve)
+		best, firstFeasible, nodes, err = searchBelowIncumbent(sctx, lb, warmK, workers, feasSolve)
 	} else {
-		best, firstFeasible, nodes, err = searchMinFeasible(sctx, lb, ub, conc.Workers(opts.Workers), solve)
+		searchUB := ub
+		if gub >= 0 && gub-1 < searchUB {
+			searchUB = gub - 1
+		}
+		best, firstFeasible, nodes, err = searchMinFeasible(sctx, lb, searchUB, workers, feasSolve)
+		if err == nil && best == -1 && gub >= 0 {
+			best, firstFeasible = gub, gubRes
+		}
 	}
 	searchSpan.SetInt("best", int64(best))
 	searchSpan.End()
@@ -443,8 +490,12 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		return nil, err
 	}
 	if best == -1 {
+		if und.anyUndecided() {
+			return nil, fmt.Errorf("core: feasibility of the range up to %d buses undecided within the node budget: %w", ub, ErrSearchLimit)
+		}
 		return nil, fmt.Errorf("core: no feasible crossbar with at most %d buses (conflicts or bus cap too tight): %w", ub, ErrInfeasible)
 	}
+	searchCapped := und.cappedBelow(best)
 
 	// The warm search can prove the minimal count without a probe at
 	// that count (the incumbent itself is the feasibility witness).
@@ -497,7 +548,7 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		Conflicts:     nConf,
 		SearchNodes:   nodes,
 		Engine:        opts.Engine,
-		Capped:        result.capped,
+		Capped:        result.capped || searchCapped,
 	}
 	// Publish the finished design for reuse. Capped results are
 	// excluded: they depend on the node budget, and MaxNodes is

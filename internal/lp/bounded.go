@@ -104,6 +104,22 @@ type boundedTableau struct {
 	noEnter []bool    // columns barred from entering the basis
 	fixVal  []float64 // NaN = free; otherwise the pinned value
 	pivots  int64     // basis changes performed over the tableau's lifetime
+	// interrupt, when non-nil, is polled every few simplex iterations;
+	// returning true aborts the pass with ErrInterrupted. A single LP on
+	// a large node can run for minutes, so without a pivot-level poll a
+	// canceled caller (a losing portfolio contestant, say) would stay
+	// wedged until the pass finished on its own.
+	interrupt func() bool
+}
+
+// interruptCheckMask throttles the interrupt poll to every 64 simplex
+// iterations: each iteration already costs O(m·width) row arithmetic,
+// so the poll is noise, but checking every iteration would still put a
+// branch + indirect call in the hottest loop for nothing.
+const interruptCheckMask = 63
+
+func (t *boundedTableau) interrupted(iter int) bool {
+	return iter&interruptCheckMask == interruptCheckMask && t.interrupt != nil && t.interrupt()
 }
 
 // isFixed reports whether column j is pinned to an exact value.
@@ -338,6 +354,9 @@ func (t *boundedTableau) run(costs []float64) error {
 	}
 
 	for iter := 0; iter < maxIters; iter++ {
+		if t.interrupted(iter) {
+			return ErrInterrupted
+		}
 		if iter%refreshEvery == refreshEvery-1 {
 			refresh()
 		}

@@ -109,6 +109,12 @@ const eps = 1e-9
 // within the iteration budget (indicative of numerical trouble).
 var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
 
+// ErrInterrupted is returned when a NodeSolver's Interrupt callback
+// asked a running simplex pass to stop. The solve's intermediate state
+// is discarded (the solver re-anchors cold on the next call), so an
+// interrupted solver remains usable.
+var ErrInterrupted = errors.New("lp: solve interrupted")
+
 // debugIterBudget, when positive, overrides the pivot budget of the
 // primal simplex loops. debugDualBudget does the same for the
 // NodeSolver's dual-simplex pass. They exist purely so tests can force

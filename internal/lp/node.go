@@ -68,6 +68,15 @@ type NodeSolver struct {
 	flipCnt   []int
 	flipEpoch int
 
+	// Interrupt, when set, is polled every few pivots of every simplex
+	// pass; returning true makes the in-flight Solve return
+	// ErrInterrupted promptly instead of running the pass to completion
+	// (a single pass on a large node can take minutes). Callers set it
+	// once after construction — typically to a context-cancellation
+	// check — and must not change it while a Solve is in flight.
+	Interrupt func() bool
+	stopped   bool // an interrupt fired during the current Solve
+
 	// Stats observe how many node solves took each path.
 	warm, cold int64
 	dualPivots int64
@@ -228,12 +237,20 @@ func (s *NodeSolver) Solve(fixes []Fix) (*Solution, error) {
 		}
 	}
 	before := s.t.pivots
+	s.t.interrupt = s.Interrupt
+	s.stopped = false
 	if s.ready && s.sinceRe < resyncEvery {
 		if sol, ok := s.solveWarm(fixes); ok {
 			s.warm++
 			s.sinceRe++
 			sol.Iterations = s.t.pivots - before
 			return sol, nil
+		}
+		if s.stopped {
+			// An interrupted warm pass must not fall back to a cold solve
+			// — the caller asked to stop, not to try harder. ready is
+			// already false, so the next Solve re-anchors cold.
+			return nil, ErrInterrupted
 		}
 	}
 	s.cold++
@@ -302,6 +319,10 @@ func (s *NodeSolver) solveWarm(fixes []Fix) (*Solution, bool) {
 	case dualStalled:
 		s.ready = false
 		return nil, false
+	case dualInterrupted:
+		s.ready = false
+		s.stopped = true
+		return nil, false
 	}
 	// Dual pivots restored feasibility; primal phase-2 pivots from this
 	// (feasible) basis restore optimality — which also keeps the basis
@@ -310,6 +331,9 @@ func (s *NodeSolver) solveWarm(fixes []Fix) (*Solution, bool) {
 	if err := t.run(s.costs); err != nil {
 		if errors.Is(err, errUnbounded) {
 			return &Solution{Status: Unbounded}, true
+		}
+		if errors.Is(err, ErrInterrupted) {
+			s.stopped = true
 		}
 		s.ready = false
 		return nil, false
@@ -347,6 +371,7 @@ const (
 	dualFeasible dualStatus = iota
 	dualInfeasible
 	dualStalled
+	dualInterrupted
 )
 
 // dualSimplex pivots until every basic variable is back inside its
@@ -375,6 +400,9 @@ func (s *NodeSolver) dualSimplex() dualStatus {
 	s.flipEpoch++
 	barredByFlips := false
 	for iter := 0; iter < maxIters; iter++ {
+		if t.interrupted(iter) {
+			return dualInterrupted
+		}
 		// Most-violated basic variable.
 		l, worst, above := -1, feasTol, false
 		for i := 0; i < t.m; i++ {

@@ -201,6 +201,10 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 	if err != nil {
 		return nil, err
 	}
+	// Pivot-level cancellation: a single node LP on a large instance can
+	// pivot for minutes, far longer than the per-node ctx check below
+	// can notice. The solver polls this between pivots.
+	ns.Interrupt = func() bool { return ctx.Err() != nil }
 
 	ctx, solveSpan := obs.Start(ctx, "milp.solve")
 	solveSpan.SetInt("vars", int64(n))
@@ -334,6 +338,9 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 			nodeSpan.End()
 		}
 		if err != nil {
+			if errors.Is(err, lp.ErrInterrupted) {
+				return nil, fmt.Errorf("%w mid-node after %d nodes: %w", ErrCanceled, nodes, context.Cause(ctx))
+			}
 			return nil, err
 		}
 		prevChain, prevValid = cur.fixes, true

@@ -47,7 +47,7 @@ func TestParallelDesignDeterminism(t *testing.T) {
 			t.Fatalf("%s: serial design: %v", app.Name, err)
 		}
 		for _, procs := range []int{1, 2, 4} {
-			for _, workers := range []int{0, 2, 4} {
+			for _, workers := range []int{0, 2, 4, 8} {
 				runtime.GOMAXPROCS(procs)
 				opts := core.DefaultOptions()
 				opts.Workers = workers
