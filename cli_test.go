@@ -177,3 +177,50 @@ func TestCLIExperiments(t *testing.T) {
 		t.Errorf("experiments output unexpected:\n%s", out)
 	}
 }
+
+// TestCLIFlightRecording drives the shared -flight-out flag end to end:
+// a design run journals its flight events to NDJSON, and flightview
+// renders the summary, the replay and the canonical reduction from it.
+func TestCLIFlightRecording(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	simBin := buildTool(t, dir, "stbus-sim")
+	genBin := buildTool(t, dir, "xbargen")
+	fvBin := buildTool(t, dir, "flightview")
+
+	prefix := filepath.Join(dir, "mat2")
+	runTool(t, simBin, "-app", "mat2", "-arch", "full", "-dump-traces", prefix)
+
+	flightPath := filepath.Join(dir, "run.flight")
+	runTool(t, genBin, "-trace", prefix+".req.trc", "-window", "800", "-flight-out", flightPath)
+	if fi, err := os.Stat(flightPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("flight recording not written: %v", err)
+	}
+
+	out := runTool(t, fvBin, "-in", flightPath)
+	for _, want := range []string{"recording:", "design start:", "design done:", "probes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flightview summary missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runTool(t, fvBin, "-in", flightPath, "-replay")
+	for _, want := range []string{"design_start", "probe_close", "design_done"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("flightview replay missing %q:\n%s", want, out)
+		}
+	}
+
+	// The canonical reduction must itself be a loadable recording, and
+	// reducing it again must be a fixed point.
+	canon := runTool(t, fvBin, "-in", flightPath, "-canon")
+	canonPath := filepath.Join(dir, "run.canon")
+	if err := os.WriteFile(canonPath, []byte(canon), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if again := runTool(t, fvBin, "-in", canonPath, "-canon"); again != canon {
+		t.Errorf("canonical reduction is not a fixed point:\n first: %s\nsecond: %s", canon, again)
+	}
+}

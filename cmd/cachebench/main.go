@@ -101,25 +101,25 @@ func run(ctx context.Context) (err error) {
 	}
 
 	primed := cache.New(cache.Config{})
-	primed.Store(baseA, opts, design)
+	primed.Store(ctx, baseA, opts, design)
 
 	add(bench("lookup-hit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, ok := primed.Lookup(baseA, opts); !ok {
+			if _, ok := primed.Lookup(ctx, baseA, opts); !ok {
 				b.Fatal("expected a hit")
 			}
 		}
 	}))
 	add(bench("lookup-miss", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, ok := primed.Lookup(nearA, opts); ok {
+			if _, ok := primed.Lookup(ctx, nearA, opts); ok {
 				b.Fatal("expected a miss")
 			}
 		}
 	}))
 	add(bench("warm-lookup", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if inc := primed.Warm(nearA, opts); inc == nil {
+			if inc := primed.Warm(ctx, nearA, opts); inc == nil {
 				b.Fatal("expected a warm hit")
 			}
 		}
@@ -127,25 +127,25 @@ func run(ctx context.Context) (err error) {
 	add(bench("store-memory", func(b *testing.B) {
 		s := cache.New(cache.Config{})
 		for i := 0; i < b.N; i++ {
-			s.Store(baseA, opts, design)
+			s.Store(ctx, baseA, opts, design)
 		}
 	}))
 	add(bench("store-disk", func(b *testing.B) {
 		s := cache.New(cache.Config{Dir: dir})
 		for i := 0; i < b.N; i++ {
-			s.Store(baseA, opts, design)
+			s.Store(ctx, baseA, opts, design)
 		}
 	}))
 	// Disk tier round trip: a fresh Store instance over a populated
 	// directory, forced to deserialize and verify the entry each time.
 	seed := cache.New(cache.Config{Dir: dir})
-	seed.Store(baseA, opts, design)
+	seed.Store(ctx, baseA, opts, design)
 	add(bench("lookup-disk", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
 			s := cache.New(cache.Config{Dir: dir})
 			b.StartTimer()
-			if _, ok := s.Lookup(baseA, opts); !ok {
+			if _, ok := s.Lookup(ctx, baseA, opts); !ok {
 				b.Fatal("expected a disk hit")
 			}
 		}

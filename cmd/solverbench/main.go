@@ -191,7 +191,7 @@ func deltaCases(ctx context.Context, add func(caseResult)) error {
 	}
 	prime := func() core.Cache {
 		s := cache.New(cache.Config{})
-		s.Store(baseA, opts, baseD)
+		s.Store(ctx, baseA, opts, baseD)
 		return s
 	}
 

@@ -22,7 +22,9 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -39,6 +41,7 @@ var (
 	metEvicts      = obs.NewCounter("cache.evictions")
 	metDiskHits    = obs.NewCounter("cache.disk_hits")
 	metDiskRejects = obs.NewCounter("cache.disk_rejects")
+	metLookupNS    = obs.NewHistogram("cache.lookup_ns")
 )
 
 // Config tunes a Store. The zero value is valid: a memory-only cache
@@ -119,14 +122,19 @@ func (s *Store) Len() int {
 }
 
 // Lookup implements core.Cache: an exact content hit, memory first,
-// then the disk tier.
-func (s *Store) Lookup(a *trace.Analysis, opts core.Options) (*core.Design, bool) {
+// then the disk tier. The context carries telemetry instruments (flight
+// recorder), never cancellation — a lookup always runs to completion.
+func (s *Store) Lookup(ctx context.Context, a *trace.Analysis, opts core.Options) (*core.Design, bool) {
+	rec := obs.FlightRecorderFrom(ctx)
+	start := time.Now()
+	defer func() { metLookupNS.Observe(time.Since(start).Nanoseconds()) }()
 	k := key{analysis: a.Fingerprint(), options: opts.Fingerprint()}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.byKey[k]; ok {
 		s.lru.MoveToFront(e.elem)
 		metHits.Inc()
+		rec.Emit(obs.Event{Kind: obs.EvCacheHit, K: e.design.NumBuses, Who: "memory"})
 		return copyDesign(e.design), true
 	}
 	if s.cfg.Dir != "" {
@@ -136,6 +144,7 @@ func (s *Store) Lookup(a *trace.Analysis, opts core.Options) (*core.Design, bool
 			s.insert(&entry{key: k, design: d})
 			metHits.Inc()
 			metDiskHits.Inc()
+			rec.Emit(obs.Event{Kind: obs.EvCacheHit, K: d.NumBuses, Who: "disk"})
 			return copyDesign(d), true
 		}
 	}
@@ -146,7 +155,7 @@ func (s *Store) Lookup(a *trace.Analysis, opts core.Options) (*core.Design, bool
 // Warm implements core.Cache: the most recently used entry with the
 // same option fingerprint and receiver count whose constraint diff is
 // within the delta budget lends its binding as an incumbent.
-func (s *Store) Warm(a *trace.Analysis, opts core.Options) *core.Incumbent {
+func (s *Store) Warm(ctx context.Context, a *trace.Analysis, opts core.Options) *core.Incumbent {
 	if s.cfg.MaxDeltaFrac < 0 {
 		return nil
 	}
@@ -167,6 +176,8 @@ func (s *Store) Warm(a *trace.Analysis, opts core.Options) *core.Incumbent {
 		}
 		if diffs, ok := trace.CountDiffs(a, e.analysis, limit); ok && diffs <= limit {
 			metWarmHits.Inc()
+			obs.FlightRecorderFrom(ctx).Emit(obs.Event{
+				Kind: obs.EvCacheWarm, K: e.design.NumBuses, Val: int64(diffs)})
 			return &core.Incumbent{
 				NumBuses: e.design.NumBuses,
 				BusOf:    append([]int(nil), e.design.BusOf...),
@@ -180,13 +191,14 @@ func (s *Store) Warm(a *trace.Analysis, opts core.Options) *core.Incumbent {
 // and the analysis (core may hand the same design to its caller, and
 // the analysis may be mutated and re-designed later — exactly the
 // delta-solve pattern the warm tier exists for).
-func (s *Store) Store(a *trace.Analysis, opts core.Options, d *core.Design) {
+func (s *Store) Store(ctx context.Context, a *trace.Analysis, opts core.Options, d *core.Design) {
 	if d == nil || d.Capped {
 		// Capped designs are budget-dependent; the fingerprint
 		// deliberately excludes the budget, so caching one would let a
 		// truncated answer impersonate the real one.
 		return
 	}
+	obs.FlightRecorderFrom(ctx).Emit(obs.Event{Kind: obs.EvCacheStore, K: d.NumBuses})
 	k := key{analysis: a.Fingerprint(), options: opts.Fingerprint()}
 	e := &entry{key: k, design: copyDesign(d), analysis: a.Clone()}
 	s.mu.Lock()

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -10,6 +11,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/trace"
 )
+
+// testCtx is the no-op context every cache call in these tests uses.
+var testCtx = context.Background()
 
 // mkAnalysis builds a small deterministic analysis; variant selects
 // distinct content so tests can populate the cache with many keys.
@@ -89,24 +93,24 @@ func TestEvictionOrder(t *testing.T) {
 	a := []*trace.Analysis{mkAnalysis(t, 0), mkAnalysis(t, 1), mkAnalysis(t, 2), mkAnalysis(t, 3)}
 	d := &core.Design{NumBuses: 1, BusOf: []int{0, 0, 0, 0}}
 
-	s.Store(a[0], opts, d)
-	s.Store(a[1], opts, d)
-	s.Store(a[2], opts, d) // evicts a[0]
-	if _, ok := s.Lookup(a[0], opts); ok {
+	s.Store(testCtx, a[0], opts, d)
+	s.Store(testCtx, a[1], opts, d)
+	s.Store(testCtx, a[2], opts, d) // evicts a[0]
+	if _, ok := s.Lookup(testCtx, a[0], opts); ok {
 		t.Fatal("oldest entry survived eviction")
 	}
-	if _, ok := s.Lookup(a[1], opts); !ok {
+	if _, ok := s.Lookup(testCtx, a[1], opts); !ok {
 		t.Fatal("a[1] evicted out of order")
 	}
 	// a[1] was just touched, so adding a fourth key must evict a[2].
-	s.Store(a[3], opts, d)
-	if _, ok := s.Lookup(a[2], opts); ok {
+	s.Store(testCtx, a[3], opts, d)
+	if _, ok := s.Lookup(testCtx, a[2], opts); ok {
 		t.Fatal("touched entry evicted instead of LRU victim")
 	}
-	if _, ok := s.Lookup(a[1], opts); !ok {
+	if _, ok := s.Lookup(testCtx, a[1], opts); !ok {
 		t.Fatal("recently used entry evicted")
 	}
-	if _, ok := s.Lookup(a[3], opts); !ok {
+	if _, ok := s.Lookup(testCtx, a[3], opts); !ok {
 		t.Fatal("newest entry missing")
 	}
 	if s.Len() != 2 {
@@ -127,14 +131,14 @@ func TestOptionsPartitionKeys(t *testing.T) {
 	}
 	other := opts
 	other.OptimizeBinding = false
-	if _, ok := s.Lookup(a, other); ok {
+	if _, ok := s.Lookup(testCtx, a, other); ok {
 		t.Fatal("options change did not change the key")
 	}
 	// Non-answer knobs (workers, audit) share the key.
 	alias := opts
 	alias.Workers = 7
 	alias.Audit = true
-	got, ok := s.Lookup(a, alias)
+	got, ok := s.Lookup(testCtx, a, alias)
 	if !ok || !sameCrossbar(got, d1) {
 		t.Fatal("worker/audit knobs perturbed the content key")
 	}
@@ -159,7 +163,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 	path := files[0]
 
 	fresh := func() *Store { return New(Config{Dir: dir}) }
-	if d2, ok := fresh().Lookup(a, opts); !ok || !sameCrossbar(d2, d1) {
+	if d2, ok := fresh().Lookup(testCtx, a, opts); !ok || !sameCrossbar(d2, d1) {
 		t.Fatalf("disk round-trip failed: ok=%v", ok)
 	}
 
@@ -172,7 +176,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 		if err := os.WriteFile(path, mutate(append([]byte(nil), raw...)), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := fresh().Lookup(a, opts); ok {
+		if _, ok := fresh().Lookup(testCtx, a, opts); ok {
 			t.Fatalf("%s entry was trusted", name)
 		}
 	}
@@ -185,7 +189,7 @@ func TestDiskTierRoundTrip(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := fresh().Lookup(a, opts); !ok {
+	if _, ok := fresh().Lookup(testCtx, a, opts); !ok {
 		t.Fatal("pristine entry rejected")
 	}
 }
@@ -197,33 +201,33 @@ func TestWarmLookup(t *testing.T) {
 	opts := testOpts()
 	s := New(Config{})
 	d := &core.Design{NumBuses: 2, BusOf: []int{0, 1, 0, 1}, MaxBusOverlap: 3}
-	s.Store(base, opts, d)
+	s.Store(testCtx, base, opts, d)
 
-	if inc := s.Warm(base, opts); inc == nil || !reflect.DeepEqual(inc.BusOf, d.BusOf) {
+	if inc := s.Warm(testCtx, base, opts); inc == nil || !reflect.DeepEqual(inc.BusOf, d.BusOf) {
 		t.Fatalf("identical content not warm-served: %+v", inc)
 	}
 	// Mutating the handed-out incumbent must not poison the cache.
-	s.Warm(base, opts).BusOf[0] = 9
-	if inc := s.Warm(base, opts); inc.BusOf[0] == 9 {
+	s.Warm(testCtx, base, opts).BusOf[0] = 9
+	if inc := s.Warm(testCtx, base, opts); inc.BusOf[0] == 9 {
 		t.Fatal("caller mutation reached the cached binding")
 	}
 	// A different option fingerprint never warms.
 	other := opts
 	other.MaxPerBus++
-	if inc := s.Warm(base, other); inc != nil {
+	if inc := s.Warm(testCtx, base, other); inc != nil {
 		t.Fatal("warm hit across option fingerprints")
 	}
 	// Warm lookups disabled.
 	off := New(Config{MaxDeltaFrac: -1})
-	off.Store(base, opts, d)
-	if inc := off.Warm(base, opts); inc != nil {
+	off.Store(testCtx, base, opts, d)
+	if inc := off.Warm(testCtx, base, opts); inc != nil {
 		t.Fatal("disabled warm tier served an incumbent")
 	}
 	// A wholesale different problem is past any delta budget.
 	tight := New(Config{MaxDeltaFrac: 0.01})
-	tight.Store(base, opts, d)
+	tight.Store(testCtx, base, opts, d)
 	far := mkAnalysis(t, 7)
-	if inc := tight.Warm(far, opts); inc != nil {
+	if inc := tight.Warm(testCtx, far, opts); inc != nil {
 		t.Fatal("far content warm-served under a tight budget")
 	}
 }

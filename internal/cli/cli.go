@@ -3,7 +3,7 @@
 // deadline, so every tool can be interrupted or bounded and still exit
 // through its normal error path, plus the shared profiling
 // (-cpuprofile, -memprofile) and observability (-trace-out,
-// -metrics-addr, -progress) flags.
+// -flight-out, -metrics-addr, -progress) flags.
 package cli
 
 import (
@@ -99,25 +99,29 @@ func StartProfiling() (stop func() error, err error) {
 // Observability flags shared by every tool, registered at package init
 // like the profiling flags above.
 var (
-	traceOutPath = flag.String("trace-out", "", "write a Chrome trace-event JSON of this run to the given file (open in chrome://tracing or Perfetto)")
-	metricsAddr  = flag.String("metrics-addr", "", "serve live metrics over HTTP on this address: expvar at /debug/vars, JSON snapshot at /progress")
-	progressIntv = flag.Duration("progress", 0, "print a one-line metrics progress report to stderr at this interval (0 disables)")
+	traceOutPath  = flag.String("trace-out", "", "write a Chrome trace-event JSON of this run to the given file (open in chrome://tracing or Perfetto)")
+	flightOutPath = flag.String("flight-out", "", "write an NDJSON flight recording of the solver's events to the given file (inspect with cmd/flightview)")
+	metricsAddr   = flag.String("metrics-addr", "", "serve live telemetry over HTTP on this address: expvar at /debug/vars, JSON snapshot at /progress, Prometheus at /metrics, SSE stream at /events")
+	progressIntv  = flag.Duration("progress", 0, "print a one-line metrics progress report to stderr at this interval (0 disables)")
 )
 
-// StartObs honors the -trace-out, -metrics-addr and -progress flags.
-// Call it after flag.Parse with the tool's root context; run the
-// workload under the returned context (it carries the span tracer when
-// -trace-out is set) and call finish on every exit path — it stops the
-// progress reporter, shuts the metrics endpoint down and writes the
-// Chrome trace, so a canceled run still yields a loadable partial
-// trace. The trace file is created eagerly so an unwritable path fails
-// the run up front.
+// StartObs honors the -trace-out, -flight-out, -metrics-addr and
+// -progress flags. Call it after flag.Parse with the tool's root
+// context; run the workload under the returned context (it carries the
+// span tracer when -trace-out is set and the flight recorder when
+// -flight-out or -metrics-addr is set) and call finish on every exit
+// path — it stops the progress reporter, shuts the telemetry endpoint
+// down and writes the Chrome trace and the flight recording, so a
+// canceled run still yields loadable partial artifacts. Output files
+// are created eagerly so an unwritable path fails the run up front.
 func StartObs(ctx context.Context) (_ context.Context, finish func() error, err error) {
 	var (
-		traceFile *os.File
-		tracer    *obs.Tracer
-		stopProg  func()
-		stopHTTP  func() error
+		traceFile  *os.File
+		tracer     *obs.Tracer
+		flightFile *os.File
+		rec        *obs.FlightRecorder
+		stopProg   func()
+		stopHTTP   func() error
 	)
 	if *traceOutPath != "" {
 		traceFile, err = os.Create(*traceOutPath)
@@ -127,15 +131,36 @@ func StartObs(ctx context.Context) (_ context.Context, finish func() error, err 
 		tracer = obs.NewTracer()
 		ctx = obs.WithTracer(ctx, tracer)
 	}
-	if *metricsAddr != "" {
-		bound, stop, err := obs.ServeMetrics(*metricsAddr)
+	closeFiles := func() {
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		if flightFile != nil {
+			flightFile.Close()
+		}
+	}
+	if *flightOutPath != "" {
+		flightFile, err = os.Create(*flightOutPath)
 		if err != nil {
-			if traceFile != nil {
-				traceFile.Close()
-			}
+			closeFiles()
+			return ctx, nil, fmt.Errorf("-flight-out: %w", err)
+		}
+	}
+	// The recorder runs whenever anything can consume it: a -flight-out
+	// file, or live SSE subscribers behind -metrics-addr.
+	if *flightOutPath != "" || *metricsAddr != "" {
+		rec = obs.NewFlightRecorder(0)
+		ctx = obs.WithFlightRecorder(ctx, rec)
+	}
+	if *metricsAddr != "" {
+		bus := obs.NewBus()
+		rec.AttachBus(bus)
+		bound, stop, err := obs.ServeTelemetry(*metricsAddr, obs.TelemetryConfig{Bus: bus})
+		if err != nil {
+			closeFiles()
 			return ctx, nil, fmt.Errorf("-metrics-addr: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "metrics: serving expvar on http://%s/debug/vars\n", bound)
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s — /debug/vars /progress /metrics /events\n", bound)
 		stopHTTP = stop
 	}
 	if *progressIntv > 0 {
@@ -149,6 +174,14 @@ func StartObs(ctx context.Context) (_ context.Context, finish func() error, err 
 		if stopHTTP != nil {
 			if err := stopHTTP(); err != nil {
 				errs = append(errs, fmt.Errorf("-metrics-addr: %w", err))
+			}
+		}
+		if flightFile != nil {
+			if err := rec.WriteNDJSON(flightFile); err != nil {
+				flightFile.Close()
+				errs = append(errs, fmt.Errorf("-flight-out: %w", err))
+			} else if err := flightFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("-flight-out: %w", err))
 			}
 		}
 		if traceFile != nil {

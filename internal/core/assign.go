@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/ds"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -160,8 +161,9 @@ type searchState struct {
 	suffix   [][]int64 // suffix[idx][w]: demand of targets order[idx:]
 	used     int       // buses opened so far
 	nodes    int64
-	flushed  int64 // nodes already published to the core.solver_nodes metric
-	best     int64 // incumbent objective (binding mode)
+	flushed  int64               // nodes already published to the core.solver_nodes metric
+	rec      *obs.FlightRecorder // flight journal (nil-safe; looked up once per solve)
+	best     int64               // incumbent objective (binding mode)
 	bestBus  []int
 	optimize bool
 	capped   bool  // node budget exhausted
@@ -227,6 +229,7 @@ func (p *assignProblem) solveSeeded(ctx context.Context, nB int, optimize bool, 
 		if busOf, obj, ok := p.greedyBinding(nB); ok {
 			st.best = obj
 			st.bestBus = busOf
+			st.rec.Emit(obs.Event{Kind: obs.EvIncumbent, K: nB, Val: obj, Who: "greedy"})
 		}
 		// An external warm incumbent tightens the bound further (see the
 		// solveSeeded contract for why +1 preserves bit-identity).
@@ -275,6 +278,7 @@ func (p *assignProblem) newSearchState(ctx context.Context, nB int, optimize boo
 	st := &searchState{
 		p:        p,
 		ctx:      ctx,
+		rec:      obs.FlightRecorderFrom(ctx),
 		nB:       nB,
 		busOf:    make([]int, p.nT),
 		load:     make([][]int64, nB),
@@ -318,11 +322,13 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 		return false
 	}
 	if st.nodes&cancelCheckMask == 0 {
-		metNodes.Add(st.nodes - st.flushed)
+		delta := st.nodes - st.flushed
+		metNodes.Add(delta)
+		st.rec.Emit(obs.Event{Kind: obs.EvNodes, K: st.nB, Val: delta, Who: "bb"})
 		if st.par != nil {
 			// The budget is shared across workers: charge this worker's
 			// delta and stop once the global count runs out.
-			global := st.par.nodes.Add(st.nodes - st.flushed)
+			global := st.par.nodes.Add(delta)
 			st.flushed = st.nodes
 			if global > p.maxNodes {
 				st.capped = true
@@ -346,6 +352,8 @@ func (st *searchState) dfs(idx int, curMax int64) bool {
 			if curMax < st.best {
 				st.best = curMax
 				st.bestBus = append([]int(nil), st.busOf...)
+				st.rec.Emit(obs.Event{Kind: obs.EvIncumbent, K: st.nB,
+					Val: curMax, Aux: int64(st.subtree), Who: "bb"})
 				if st.par != nil {
 					st.par.offerBound(curMax)
 				}

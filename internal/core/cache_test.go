@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -19,7 +20,7 @@ type stubCache struct {
 	warms   int
 }
 
-func (s *stubCache) Lookup(a *trace.Analysis, opts Options) (*Design, bool) {
+func (s *stubCache) Lookup(_ context.Context, a *trace.Analysis, opts Options) (*Design, bool) {
 	s.lookups++
 	if s.hit == nil {
 		return nil, false
@@ -27,12 +28,12 @@ func (s *stubCache) Lookup(a *trace.Analysis, opts Options) (*Design, bool) {
 	return s.hit, true
 }
 
-func (s *stubCache) Warm(a *trace.Analysis, opts Options) *Incumbent {
+func (s *stubCache) Warm(_ context.Context, a *trace.Analysis, opts Options) *Incumbent {
 	s.warms++
 	return s.warm
 }
 
-func (s *stubCache) Store(a *trace.Analysis, opts Options, d *Design) {
+func (s *stubCache) Store(_ context.Context, a *trace.Analysis, opts Options, d *Design) {
 	s.stored = append(s.stored, d)
 }
 

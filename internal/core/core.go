@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/conc"
 	"repro/internal/milp"
@@ -35,13 +36,14 @@ import (
 
 // Methodology instruments (see internal/obs): designs run,
 // feasibility/binding probes dispatched (including speculative ones
-// later obsoleted), and branch-and-bound nodes expanded by the
-// specialized assignment solver. MILP-engine probes account their
-// nodes under the milp.* metrics instead.
+// later obsoleted), branch-and-bound nodes expanded by the specialized
+// assignment solver, and the per-probe wall-time distribution. MILP-
+// engine probes account their nodes under the milp.* metrics instead.
 var (
 	metDesigns = obs.NewCounter("core.designs")
 	metProbes  = obs.NewCounter("core.probes")
 	metNodes   = obs.NewCounter("core.solver_nodes")
+	metProbeNS = obs.NewHistogram("core.probe_ns")
 )
 
 // Engine selects the solver used for feasibility and binding.
@@ -161,17 +163,21 @@ type Incumbent struct {
 // All methods must be safe for concurrent use. Designs and incumbents
 // handed out must be private to the caller (no aliasing of cached
 // state), and Store must likewise deep-copy what it retains.
+//
+// The context carries the caller's telemetry instruments (tracer,
+// flight recorder) so implementations can journal their traffic; it is
+// not used for cancellation — cache operations are bounded-time.
 type Cache interface {
 	// Lookup returns the design cached for exactly this problem
 	// (analysis and options fingerprints both equal), or ok == false.
-	Lookup(a *trace.Analysis, opts Options) (d *Design, ok bool)
+	Lookup(ctx context.Context, a *trace.Analysis, opts Options) (d *Design, ok bool)
 	// Warm returns a binding cached for a nearby problem — same
 	// receiver count and option fingerprint, small constraint diff —
 	// or nil when nothing close enough is cached. The binding is only
 	// a hint; core validates it against the new analysis before use.
-	Warm(a *trace.Analysis, opts Options) *Incumbent
+	Warm(ctx context.Context, a *trace.Analysis, opts Options) *Incumbent
 	// Store offers a finished, un-capped design for caching.
-	Store(a *trace.Analysis, opts Options, d *Design)
+	Store(ctx context.Context, a *trace.Analysis, opts Options, d *Design)
 }
 
 // Validate rejects option sets that would otherwise panic deep in the
@@ -309,14 +315,18 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	designSpan.SetInt("receivers", int64(nT))
 	designSpan.SetStr("engine", opts.Engine.String())
 	metDesigns.Inc()
+	rec := obs.FlightRecorderFrom(ctx)
+	rec.Emit(obs.Event{Kind: obs.EvDesignStart, Val: int64(nT), Who: opts.Engine.String()})
 
 	// A content-addressed exact hit costs two fingerprints and a map
 	// probe — checked before the conflict matrix or any solver state is
 	// built, so a hit stays microseconds regardless of problem size.
 	if opts.Cache != nil {
-		if d, ok := opts.Cache.Lookup(a, opts); ok {
+		if d, ok := opts.Cache.Lookup(ctx, a, opts); ok {
 			designSpan.SetBool("cache_hit", true)
 			designSpan.SetInt("buses", int64(d.NumBuses))
+			rec.Emit(obs.Event{Kind: obs.EvDesignDone, K: d.NumBuses,
+				Val: d.MaxBusOverlap, Aux: d.SearchNodes, Flag: d.Capped})
 			return d, nil
 		}
 	}
@@ -357,7 +367,7 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	var seedBus []int
 	var seedObj int64
 	if opts.Cache != nil {
-		if inc := opts.Cache.Warm(a, opts); inc != nil &&
+		if inc := opts.Cache.Warm(ctx, a, opts); inc != nil &&
 			inc.NumBuses <= ub && prob.validBinding(inc.NumBuses, inc.BusOf) {
 			warmK = inc.NumBuses
 			if warmK < lb {
@@ -407,18 +417,24 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	}
 	// Every probe — serial, speculative, or the final binding solve —
 	// goes through this wrapper, so each one shows up as its own span
-	// (child of core.search or core.bind) in the trace.
+	// (child of core.search or core.bind) in the trace, as an open/close
+	// pair in the flight journal, and as a sample in the probe wall-time
+	// histogram.
 	solve := func(ctx context.Context, k int, optimize bool) (*assignResult, error) {
 		ctx, sp := obs.Start(ctx, "core.probe")
 		defer sp.End()
 		sp.SetInt("buses", int64(k))
 		sp.SetBool("optimize", optimize)
 		metProbes.Inc()
+		rec.Emit(obs.Event{Kind: obs.EvProbeOpen, K: k, Flag: optimize})
+		start := time.Now()
 		res, err := rawSolve(ctx, k, optimize)
+		metProbeNS.Observe(time.Since(start).Nanoseconds())
 		if err == nil && res != nil {
 			sp.SetBool("feasible", res.feasible)
 			sp.SetInt("nodes", res.nodes)
 		}
+		rec.Emit(probeCloseEvent(k, optimize, res, err))
 		return res, err
 	}
 	// solveWarm is the binding-phase probe with the cache incumbent
@@ -430,11 +446,15 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 		sp.SetBool("optimize", true)
 		sp.SetBool("seeded", true)
 		metProbes.Inc()
+		rec.Emit(obs.Event{Kind: obs.EvProbeOpen, K: k, Flag: true})
+		start := time.Now()
 		res, err := prob.solveAuto(ctx, k, true, workers, seedBus, seedObj, nil)
+		metProbeNS.Observe(time.Since(start).Nanoseconds())
 		if err == nil && res != nil {
 			sp.SetBool("feasible", res.feasible)
 			sp.SetInt("nodes", res.nodes)
 		}
+		rec.Emit(probeCloseEvent(k, true, res, err))
 		return res, err
 	}
 
@@ -555,9 +575,39 @@ func DesignCrossbarCtx(ctx context.Context, a *trace.Analysis, opts Options) (*D
 	// deliberately outside the options fingerprint precisely because
 	// un-capped results are budget-independent.
 	if opts.Cache != nil && !design.Capped {
-		opts.Cache.Store(a, opts, design)
+		opts.Cache.Store(ctx, a, opts, design)
 	}
+	rec.Emit(obs.Event{Kind: obs.EvDesignDone, K: design.NumBuses,
+		Val: design.MaxBusOverlap, Aux: design.SearchNodes, Flag: design.Capped})
 	return design, nil
+}
+
+// probeCloseEvent classifies one probe's outcome for the flight
+// journal: Who is the outcome label, Val the objective when the probe
+// settled feasible (or its best incumbent when capped), Aux the solver
+// nodes spent.
+func probeCloseEvent(k int, optimize bool, res *assignResult, err error) obs.Event {
+	e := obs.Event{Kind: obs.EvProbeClose, K: k, Flag: optimize}
+	switch {
+	case err != nil:
+		switch {
+		case errors.Is(err, ErrSearchLimit):
+			e.Who = "exhausted"
+		case errors.Is(err, ErrCanceled):
+			e.Who = "canceled"
+		default:
+			e.Who = "error"
+		}
+	case res == nil:
+		e.Who = "error"
+	case res.capped:
+		e.Who, e.Val, e.Aux = "capped", res.maxOverlap, res.nodes
+	case res.feasible:
+		e.Who, e.Val, e.Aux = "feasible", res.maxOverlap, res.nodes
+	default:
+		e.Who, e.Aux = "infeasible", res.nodes
+	}
+	return e
 }
 
 // BuildConflicts computes the conflict matrix (paper Eq. 2) from the

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // This file parallelizes the branch and bound of assign.go: the DFS is
@@ -294,6 +296,7 @@ func (p *assignProblem) solveParallel(ctx context.Context, nB int, optimize bool
 			bound = obj
 			boundBus = busOf
 			shared.offerBound(obj)
+			obs.FlightRecorderFrom(ctx).Emit(obs.Event{Kind: obs.EvIncumbent, K: nB, Val: obj, Who: "greedy"})
 		}
 		if seedBus != nil && seedObj+1 < bound {
 			bound = seedObj + 1

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/milp"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -92,6 +93,7 @@ func (pf *portfolio) solve(ctx context.Context, k int, optimize bool) (*assignRe
 	}
 	rctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
+	rec := obs.FlightRecorderFrom(ctx)
 
 	runMILP := pf.prob.nT*k <= portfolioMILPVarLimit
 	milpOpts := milp.Options{MaxNodes: pf.milpBudget()}
@@ -119,6 +121,7 @@ func (pf *portfolio) solve(ctx context.Context, k int, optimize bool) (*assignRe
 				annBus, annObj := AnnealBinding(pf.a, pf.conflicts, k, pf.maxPerBus, gBus, AnnealParams{Seed: 1})
 				if pf.prob.validBinding(k, annBus) {
 					feed.offerBound(annObj)
+					rec.Emit(obs.Event{Kind: obs.EvIncumbent, K: k, Val: annObj, Who: "anneal"})
 				}
 			}()
 		}
@@ -135,12 +138,14 @@ func (pf *portfolio) solve(ctx context.Context, k int, optimize bool) (*assignRe
 		res, err := pf.prob.solveAuto(rctx, k, optimize, pf.workers, nil, 0, feed)
 		ch <- outcome{res, err, false}
 	}()
+	rec.Emit(obs.Event{Kind: obs.EvRaceStart, K: k, Who: "bb"})
 	if runMILP {
 		contestants++
 		go func() {
 			res, err := solveFormulated(rctx, pf.fr, k, optimize, milpOpts)
 			ch <- outcome{res, err, true}
 		}()
+		rec.Emit(obs.Event{Kind: obs.EvRaceStart, K: k, Who: "milp"})
 	}
 
 	var fallback *assignResult // best capped incumbent, if any
@@ -158,6 +163,9 @@ func (pf *portfolio) solve(ctx context.Context, k int, optimize bool) (*assignRe
 		// infeasibility proof, which is the regime it wins in.
 		if !oc.milp && (oc.err != nil || oc.res.capped) {
 			cancel(errObsolete)
+			if contestants == 2 && i == 0 {
+				rec.Emit(obs.Event{Kind: obs.EvRaceCancel, K: k, Who: "milp"})
+			}
 		}
 		switch {
 		case oc.err == nil && !oc.res.capped:
@@ -165,6 +173,14 @@ func (pf *portfolio) solve(ctx context.Context, k int, optimize bool) (*assignRe
 			// sibling and return without waiting for it — it unwinds on
 			// the canceled context and only touches its own state.
 			cancel(errObsolete)
+			winner, loser := "bb", "milp"
+			if oc.milp {
+				winner, loser = "milp", "bb"
+			}
+			rec.Emit(obs.Event{Kind: obs.EvRaceWin, K: k, Who: winner})
+			if contestants == 2 && i == 0 {
+				rec.Emit(obs.Event{Kind: obs.EvRaceCancel, K: k, Who: loser})
+			}
 			if fallback != nil {
 				oc.res.nodes += fallback.nodes
 			}

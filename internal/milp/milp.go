@@ -210,6 +210,8 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 	solveSpan.SetInt("vars", int64(n))
 	solveSpan.SetBool("first_feasible", opts.FirstFeasible)
 	tracer := obs.TracerFrom(ctx)
+	rec := obs.FlightRecorderFrom(ctx)
+	ns.Rec = rec
 
 	type node struct {
 		fixes *chainFix
@@ -226,6 +228,7 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 	var lpIters int64
 	var restarts int64
 	var lastWarm, lastCold, lastDual int64
+	var flushedNodes int
 	finish := func(s *Solution) *Solution {
 		s.Nodes = nodes
 		s.WarmSolves, s.ColdSolves = ns.Stats()
@@ -248,6 +251,7 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 			best = s
 			seeded = true
 			metSeeded.Inc()
+			rec.Emit(obs.Event{Kind: obs.EvIncumbent, Val: int64(math.Round(best.Objective)), Who: "milp"})
 			solveSpan.SetBool("seeded", true)
 			if opts.FirstFeasible {
 				// Any feasible point suffices; the incumbent is one.
@@ -312,6 +316,10 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 			maxDepth = depth
 		}
 		metNodes.Inc()
+		if nodes&255 == 0 {
+			rec.Emit(obs.Event{Kind: obs.EvNodes, Val: int64(nodes - flushedNodes), Who: "milp"})
+			flushedNodes = nodes
+		}
 		if nodes > maxNodes {
 			return nil, ErrNodeLimit
 		}
@@ -369,6 +377,7 @@ func solveIncremental(ctx context.Context, p *Problem, opts Options, maxNodes in
 					best = cand
 					incumbents++
 					metIncumbents.Inc()
+					rec.Emit(obs.Event{Kind: obs.EvIncumbent, Val: int64(math.Round(cand.Objective)), Who: "milp"})
 				}
 				if opts.FirstFeasible {
 					return finish(best), nil
@@ -429,11 +438,13 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 	solveSpan.SetBool("first_feasible", opts.FirstFeasible)
 	solveSpan.SetStr("config", "legacy")
 	defer solveSpan.End()
+	rec := obs.FlightRecorderFrom(ctx)
 
 	var best *Solution
 	nodes := 0
 	maxDepth := 0
 	seeded := false
+	flushedNodes := 0
 	var incumbents, lpIters int64
 	finish := func(s *Solution) *Solution {
 		s.Nodes = nodes
@@ -452,6 +463,7 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 			best = s
 			seeded = true
 			metSeeded.Inc()
+			rec.Emit(obs.Event{Kind: obs.EvIncumbent, Val: int64(math.Round(best.Objective)), Who: "milp"})
 			solveSpan.SetBool("seeded", true)
 			if opts.FirstFeasible {
 				return finish(best), nil
@@ -478,6 +490,10 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 		}
 		metNodes.Inc()
 		metCold.Inc()
+		if nodes&255 == 0 {
+			rec.Emit(obs.Event{Kind: obs.EvNodes, Val: int64(nodes - flushedNodes), Who: "milp"})
+			flushedNodes = nodes
+		}
 		if nodes > maxNodes {
 			return nil, ErrNodeLimit
 		}
@@ -510,6 +526,7 @@ func solveLegacy(ctx context.Context, p *Problem, opts Options, maxNodes int) (*
 					best = cand
 					incumbents++
 					metIncumbents.Inc()
+					rec.Emit(obs.Event{Kind: obs.EvIncumbent, Val: int64(math.Round(cand.Objective)), Who: "milp"})
 				}
 				if opts.FirstFeasible {
 					return finish(best), nil

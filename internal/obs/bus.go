@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bus fans telemetry frames out to any number of live subscribers —
+// the transport behind the /events SSE endpoint (ServeTelemetry). It is
+// built for publishers that must never block: Publish delivers to each
+// subscriber's buffered channel with a non-blocking send and counts the
+// frame as dropped for that subscriber when the buffer is full, so one
+// stalled HTTP client costs itself data, never the solver.
+type Bus struct {
+	mu     sync.RWMutex
+	subs   map[*BusSub]struct{}
+	closed bool
+}
+
+// busFrame is one named payload on the bus (an SSE event).
+type busFrame struct {
+	name string
+	data []byte
+}
+
+// BusSub is one subscription. Frames arrive on ch; dropped counts the
+// frames the bus discarded because ch was full when they were
+// published.
+type BusSub struct {
+	ch      chan busFrame
+	done    chan struct{} // closed by Bus.Close
+	dropped atomic.Int64
+}
+
+// Dropped reports how many frames this subscriber lost to backpressure.
+func (s *BusSub) Dropped() int64 { return s.dropped.Load() }
+
+// Bus traffic instruments: frames published (counted once per Publish)
+// and per-subscriber deliveries discarded by backpressure.
+var (
+	metBusPublished = NewCounter("bus.published")
+	metBusDropped   = NewCounter("bus.dropped")
+)
+
+// DefaultSubBuffer is the per-subscriber frame buffer Subscribe(0)
+// uses: deep enough to ride out scheduling hiccups and TCP stalls of a
+// healthy client, small enough that a dead-slow one is dropped against
+// rather than buffered without bound.
+const DefaultSubBuffer = 256
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: map[*BusSub]struct{}{}}
+}
+
+// Subscribe registers a new subscriber with the given frame buffer
+// (0 means DefaultSubBuffer). Subscribing to a closed bus returns a
+// subscription whose done channel is already closed.
+func (b *Bus) Subscribe(buffer int) *BusSub {
+	if buffer <= 0 {
+		buffer = DefaultSubBuffer
+	}
+	s := &BusSub{ch: make(chan busFrame, buffer), done: make(chan struct{})}
+	b.mu.Lock()
+	if b.closed {
+		close(s.done)
+	} else {
+		b.subs[s] = struct{}{}
+	}
+	b.mu.Unlock()
+	return s
+}
+
+// Unsubscribe removes s; pending frames in its buffer are simply
+// garbage. Safe to call twice.
+func (b *Bus) Unsubscribe(s *BusSub) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Subscribers reports the current subscriber count.
+func (b *Bus) Subscribers() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs)
+}
+
+// Close terminates every subscription (their done channels close, which
+// ends the SSE streams) and makes subsequent publishes no-ops.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		for s := range b.subs {
+			close(s.done)
+			delete(b.subs, s)
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Publish fans one frame out to every subscriber, never blocking: a
+// subscriber whose buffer is full loses the frame and has its drop
+// counter incremented (surfaced to the SSE client as a "dropped"
+// event). data is aliased by every subscriber, so callers must not
+// mutate it after publishing.
+func (b *Bus) Publish(name string, data []byte) {
+	b.mu.RLock()
+	for s := range b.subs {
+		select {
+		case s.ch <- busFrame{name: name, data: data}:
+		default:
+			s.dropped.Add(1)
+			metBusDropped.Inc()
+		}
+	}
+	b.mu.RUnlock()
+	metBusPublished.Inc()
+}
+
+// PublishEvent publishes a flight-recorder event as a "flight" frame,
+// marshaled once for all subscribers.
+func (b *Bus) PublishEvent(e Event) {
+	je := eventJSON{Seq: e.Seq, T: e.T, Kind: e.Kind.String(),
+		K: e.K, Val: e.Val, Aux: e.Aux, Who: e.Who, Flag: e.Flag}
+	data, err := json.Marshal(je)
+	if err != nil {
+		return // unreachable: eventJSON marshals cleanly by construction
+	}
+	b.Publish("flight", data)
+}
+
+// sseHeartbeat is the idle keepalive period of the SSE handler: a
+// comment frame per period keeps proxies and idle-timeout middleboxes
+// from killing a quiet stream.
+const sseHeartbeat = 15 * time.Second
+
+// ServeHTTP streams the bus to one client as Server-Sent Events:
+// "flight" events carry recorder entries, "metrics" events carry
+// metric-delta snapshots (see ServeTelemetry), and a "dropped" event is
+// interleaved whenever backpressure discarded frames since the last
+// report. The stream ends when the client disconnects (request context
+// cancellation) or the bus closes.
+func (b *Bus) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := b.Subscribe(0)
+	defer b.Unsubscribe(sub)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": stream open\n\n")
+	fl.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	var reported int64
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.done:
+			fmt.Fprint(w, "event: bye\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case f := <-sub.ch:
+			if d := sub.dropped.Load(); d > reported {
+				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
+				reported = d
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.name, f.data)
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}

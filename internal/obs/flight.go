@@ -1,0 +1,479 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the third obs instrument, next to spans and
+// metrics: a bounded ring journal of typed solver events (incumbents
+// found, node-expansion batches, LP pivot batches, portfolio race
+// outcomes, cache traffic, probe open/close) cheap enough to stay on
+// for production solves. Spans answer "where did the time go", metrics
+// answer "how fast is it going right now"; the recorder answers "what
+// did the search actually do, in what order" — and can replay it after
+// the fact (cmd/flightview) or stream it live (Bus, see bus.go).
+//
+// Like the other instruments it is carried by the context and nil-safe:
+// with no recorder attached, FlightRecorderFrom returns nil and every
+// method on the nil *FlightRecorder returns immediately without
+// allocating, so instrumentation stays on unconditionally in the hot
+// loops (pinned by TestFlightDisabledPathAllocationFree).
+
+// EventKind discriminates flight-recorder events.
+type EventKind uint8
+
+const (
+	// EvDesignStart opens one design run: Val = receiver count,
+	// Who = engine name.
+	EvDesignStart EventKind = iota
+	// EvDesignDone closes a design run: K = buses, Val = objective,
+	// Aux = total solver nodes, Flag = capped.
+	EvDesignDone
+	// EvProbeOpen starts one bus-count probe: K = bus count,
+	// Flag = optimize (binding phase) vs feasibility.
+	EvProbeOpen
+	// EvProbeClose finishes a probe: K/Flag as the open, Who = outcome
+	// ("feasible", "infeasible", "capped", "exhausted", "canceled",
+	// "error"), Val = objective when feasible, Aux = solver nodes.
+	EvProbeClose
+	// EvIncumbent records an improved incumbent binding: K = bus count
+	// (0 when unknown, e.g. inside the MILP), Val = objective,
+	// Aux = frontier subtree index (parallel branch and bound),
+	// Who = producer ("bb", "milp", "anneal", "greedy").
+	EvIncumbent
+	// EvNodes is a node-expansion batch: Val = nodes expanded since the
+	// previous batch, K = bus count (0 inside the MILP), Who = engine
+	// ("bb", "milp").
+	EvNodes
+	// EvLPPivots is a simplex pivot batch from the incremental node
+	// solver: Val = pivots since the previous batch, Who = "lp".
+	EvLPPivots
+	// EvRaceStart marks a portfolio contestant entering a probe race:
+	// K = bus count, Who = contestant ("bb", "milp").
+	EvRaceStart
+	// EvRaceWin marks the contestant whose definitive answer won the
+	// probe: K = bus count, Who = contestant.
+	EvRaceWin
+	// EvRaceCancel marks a contestant canceled because its sibling
+	// decided the probe (or the wall-clock governor fired): K = bus
+	// count, Who = the canceled contestant.
+	EvRaceCancel
+	// EvCacheHit is an exact content hit: K = cached bus count,
+	// Who = tier ("memory", "disk").
+	EvCacheHit
+	// EvCacheWarm is a near-hit warm incumbent served: K = cached bus
+	// count, Val = constraint-cell diff count.
+	EvCacheWarm
+	// EvCacheStore is a finished design offered to the cache:
+	// K = bus count.
+	EvCacheStore
+
+	numEventKinds // sentinel; keep last
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvDesignStart: "design_start",
+	EvDesignDone:  "design_done",
+	EvProbeOpen:   "probe_open",
+	EvProbeClose:  "probe_close",
+	EvIncumbent:   "incumbent",
+	EvNodes:       "nodes",
+	EvLPPivots:    "lp_pivots",
+	EvRaceStart:   "race_start",
+	EvRaceWin:     "race_win",
+	EvRaceCancel:  "race_cancel",
+	EvCacheHit:    "cache_hit",
+	EvCacheWarm:   "cache_warm",
+	EvCacheStore:  "cache_store",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// ParseEventKind inverts EventKind.String (used by the NDJSON reader).
+func ParseEventKind(s string) (EventKind, bool) {
+	for k, name := range eventKindNames {
+		if name == s {
+			return EventKind(k), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one flight-recorder entry. It is a flat value type — no
+// pointers beyond the static Who string — so emitting one allocates
+// nothing and recording is a struct copy into the ring.
+//
+// The payload fields carry logical keys, not wall-clock artifacts: K is
+// the bus count the event concerns, Val/Aux the kind-specific values
+// documented on each EventKind. Only Seq and T are schedule-dependent;
+// Canonical strips them, which is what makes recordings diffable across
+// worker counts.
+type Event struct {
+	// Seq is the emission sequence number (0-based, assigned by the
+	// recorder).
+	Seq int64
+	// T is nanoseconds since the recorder's epoch.
+	T int64
+	// Kind discriminates the payload.
+	Kind EventKind
+	// K is the bus count the event concerns (0 when not applicable).
+	K int
+	// Val and Aux are kind-specific payloads (see EventKind docs).
+	Val int64
+	Aux int64
+	// Who names the emitting engine/tier/contestant; always a static
+	// string so emission never allocates.
+	Who string
+	// Flag is the kind-specific boolean (optimize probes, capped runs).
+	Flag bool
+}
+
+// Flight traffic instruments: events recorded and events overwritten in
+// the ring before export.
+var (
+	metFlightEvents  = NewCounter("flight.events")
+	metFlightDropped = NewCounter("flight.dropped")
+)
+
+// DefaultFlightCapacity is the ring size NewFlightRecorder(0) uses:
+// large enough to hold every event of typical solves (batching keeps
+// the rate low — a 20M-node search emits ~20k node batches), small
+// enough to be an invisible allocation.
+const DefaultFlightCapacity = 1 << 15
+
+// FlightRecorder is a bounded ring journal of Events. All methods are
+// safe for concurrent use, and all methods on a nil receiver are
+// allocation-free no-ops — the disabled path.
+type FlightRecorder struct {
+	epoch time.Time
+	now   func() time.Time // test hook; defaults to time.Now
+	bus   atomic.Pointer[Bus]
+
+	mu  sync.Mutex
+	buf []Event // ring storage; entry for seq s lives at s % len(buf)
+	n   int64   // events emitted so far (next Seq)
+}
+
+// NewFlightRecorder returns an empty recorder holding the last
+// `capacity` events (0 means DefaultFlightCapacity). Its clock starts
+// now.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	r := &FlightRecorder{now: time.Now, buf: make([]Event, capacity)}
+	r.epoch = r.now()
+	return r
+}
+
+// AttachBus mirrors every subsequently emitted event onto b (see
+// bus.go), so live subscribers see the journal as it is written. A nil
+// b detaches.
+func (r *FlightRecorder) AttachBus(b *Bus) {
+	if r == nil {
+		return
+	}
+	r.bus.Store(b)
+}
+
+// Emit records e, stamping its Seq and T. The caller fills the payload
+// fields only. Nil-safe and allocation-free (the event is copied into
+// preallocated ring storage).
+func (r *FlightRecorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	e.T = r.now().Sub(r.epoch).Nanoseconds()
+	r.mu.Lock()
+	e.Seq = r.n
+	r.buf[r.n%int64(len(r.buf))] = e
+	r.n++
+	dropped := r.n > int64(len(r.buf))
+	r.mu.Unlock()
+	metFlightEvents.Inc()
+	if dropped {
+		metFlightDropped.Inc()
+	}
+	if b := r.bus.Load(); b != nil {
+		b.PublishEvent(e)
+	}
+}
+
+// Emitted reports how many events have been emitted over the
+// recorder's lifetime (not how many the ring still holds).
+func (r *FlightRecorder) Emitted() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped reports how many events the ring has overwritten.
+func (r *FlightRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d := r.n - int64(len(r.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the retained events in emission order (oldest first).
+func (r *FlightRecorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := int64(len(r.buf))
+	first := int64(0)
+	if r.n > size {
+		first = r.n - size
+	}
+	out := make([]Event, 0, r.n-first)
+	for s := first; s < r.n; s++ {
+		out = append(out, r.buf[s%size])
+	}
+	return out
+}
+
+type ctxFlightKey struct{}
+
+// WithFlightRecorder returns a context carrying r; instrumented layers
+// under the returned context journal their events into it. A nil r
+// returns ctx unchanged (recording stays disabled).
+func WithFlightRecorder(ctx context.Context, r *FlightRecorder) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxFlightKey{}, r)
+}
+
+// FlightRecorderFrom returns the recorder attached to ctx, or nil when
+// recording is disabled. Hot loops look it up once per solve and call
+// the nil-safe Emit unconditionally.
+func FlightRecorderFrom(ctx context.Context) *FlightRecorder {
+	r, _ := ctx.Value(ctxFlightKey{}).(*FlightRecorder)
+	return r
+}
+
+// --- NDJSON export/import ---
+
+// FlightMeta is the header line of an NDJSON recording.
+type FlightMeta struct {
+	Flight  int   `json:"flight"` // format version, currently 1
+	Emitted int64 `json:"emitted"`
+	Dropped int64 `json:"dropped"`
+}
+
+// eventJSON is the NDJSON wire form of an Event.
+type eventJSON struct {
+	Seq  int64  `json:"seq"`
+	T    int64  `json:"t_ns"`
+	Kind string `json:"kind"`
+	K    int    `json:"k,omitempty"`
+	Val  int64  `json:"val,omitempty"`
+	Aux  int64  `json:"aux,omitempty"`
+	Who  string `json:"who,omitempty"`
+	Flag bool   `json:"flag,omitempty"`
+}
+
+// WriteNDJSON exports the recording: one JSON header line (FlightMeta)
+// followed by one JSON object per retained event, oldest first.
+func (r *FlightRecorder) WriteNDJSON(w io.Writer) error {
+	meta := FlightMeta{Flight: 1, Emitted: r.Emitted(), Dropped: r.Dropped()}
+	return WriteEventsNDJSON(w, meta, r.Events())
+}
+
+// WriteEventsNDJSON writes an arbitrary event sequence in the recording
+// wire format — the events' Seq/T stamps are written verbatim, so a
+// canonical reduction (zeroed stamps) round-trips unchanged.
+func WriteEventsNDJSON(w io.Writer, meta FlightMeta, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if meta.Flight == 0 {
+		meta.Flight = 1
+	}
+	if err := enc.Encode(meta); err != nil {
+		return fmt.Errorf("obs: flight header: %w", err)
+	}
+	for _, e := range events {
+		je := eventJSON{Seq: e.Seq, T: e.T, Kind: e.Kind.String(),
+			K: e.K, Val: e.Val, Aux: e.Aux, Who: e.Who, Flag: e.Flag}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("obs: flight event %d: %w", e.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNDJSON parses a recording written by WriteNDJSON. A recording
+// without a header line (or truncated mid-line) is tolerated: events
+// parse until the input ends, and the meta defaults to the counts
+// observed.
+func ReadNDJSON(rd io.Reader) ([]Event, FlightMeta, error) {
+	var meta FlightMeta
+	var events []Event
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var m FlightMeta
+			if err := json.Unmarshal(line, &m); err == nil && m.Flight > 0 {
+				meta = m
+				continue
+			}
+		}
+		var je eventJSON
+		if err := json.Unmarshal(line, &je); err != nil {
+			return events, meta, fmt.Errorf("obs: flight event line: %w", err)
+		}
+		kind, ok := ParseEventKind(je.Kind)
+		if !ok {
+			return events, meta, fmt.Errorf("obs: unknown event kind %q", je.Kind)
+		}
+		events = append(events, Event{Seq: je.Seq, T: je.T, Kind: kind,
+			K: je.K, Val: je.Val, Aux: je.Aux, Who: je.Who, Flag: je.Flag})
+	}
+	if err := sc.Err(); err != nil {
+		return events, meta, err
+	}
+	if meta.Flight == 0 {
+		meta = FlightMeta{Flight: 1, Emitted: int64(len(events))}
+	}
+	return events, meta, nil
+}
+
+// --- canonical reduction ---
+
+// Canonical reduces a recording to its schedule-invariant skeleton, the
+// form golden tests diff across worker counts. Wall-clock artifacts
+// (Seq, T, node counts, pivot batches, race outcomes, canceled or
+// budget-capped probes, raw incumbent streams) are dropped or zeroed;
+// what remains are the logical facts every run proves identically no
+// matter how probes were scheduled:
+//
+//   - the design's start (receivers, engine) and outcome (buses,
+//     objective, capped) — bit-identical at every worker count by the
+//     parallel determinism contract;
+//   - the two tight feasibility facts: the largest bus count decided
+//     infeasible and the smallest decided feasible. Speculative search
+//     decides a worker-dependent *set* of counts, but the search cannot
+//     terminate without deciding kmin feasible, and can only advance its
+//     lower bound past kmin-1 by deciding it infeasible, so the extremes
+//     are invariant (and the feasibility witness at kmin, hence its
+//     objective, is deterministic per count);
+//   - decided (un-capped) optimize-phase probe results, ordered by bus
+//     count;
+//   - cache traffic (hit/warm/store), which depends only on content.
+func Canonical(events []Event) []Event {
+	var out []Event
+	maxInfeas, haveInfeas := 0, false
+	var minFeas Event
+	haveFeas := false
+	var optClosed []Event
+	for _, e := range events {
+		switch e.Kind {
+		case EvDesignStart, EvCacheHit, EvCacheWarm, EvCacheStore, EvDesignDone:
+			c := e
+			c.Seq, c.T = 0, 0
+			if c.Kind == EvDesignDone {
+				c.Aux = 0 // node totals vary with speculation
+			}
+			out = append(out, c)
+		case EvProbeClose:
+			if e.Flag {
+				if e.Who == "feasible" {
+					c := e
+					c.Seq, c.T, c.Aux = 0, 0, 0
+					optClosed = append(optClosed, c)
+				}
+				continue
+			}
+			switch e.Who {
+			case "infeasible":
+				if !haveInfeas || e.K > maxInfeas {
+					maxInfeas, haveInfeas = e.K, true
+				}
+			case "feasible":
+				if !haveFeas || e.K < minFeas.K {
+					c := e
+					c.Seq, c.T, c.Aux = 0, 0, 0
+					minFeas, haveFeas = c, true
+				}
+			}
+		}
+	}
+	// Assemble: start and cache events keep their relative order (they
+	// are content-determined), then the feasibility facts, then the
+	// optimize results by bus count, then the design outcome.
+	reduced := make([]Event, 0, len(out)+2+len(optClosed))
+	var done []Event
+	for _, e := range out {
+		if e.Kind == EvDesignDone {
+			done = append(done, e)
+			continue
+		}
+		reduced = append(reduced, e)
+	}
+	if haveInfeas {
+		reduced = append(reduced, Event{Kind: EvProbeClose, K: maxInfeas, Who: "infeasible"})
+	}
+	if haveFeas {
+		reduced = append(reduced, minFeas)
+	}
+	sortEventsByK(optClosed)
+	reduced = append(reduced, optClosed...)
+	reduced = append(reduced, done...)
+	return reduced
+}
+
+func sortEventsByK(events []Event) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].K < events[j-1].K; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// DiffEvents compares two event sequences field by field and returns a
+// human-readable description of the first difference, or "" when equal.
+// Used by the golden tests and `flightview -canon -diff`.
+func DiffEvents(a, b []Event) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) != len(b) {
+		return fmt.Sprintf("length differs: %d vs %d events", len(a), len(b))
+	}
+	return ""
+}

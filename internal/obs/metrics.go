@@ -46,9 +46,11 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 const histBuckets = 64
 
 // Histogram accumulates an int64 distribution in power-of-two buckets.
-// Observe is wait-free (three atomic adds); readers get a consistent-
-// enough view for progress reporting (buckets are not snapshotted
-// atomically with each other).
+// Observe is wait-free (three atomic adds). Snapshot reads the bucket
+// array once into a self-consistent view (its count is the sum of the
+// buckets it read), which is what the Prometheus exposition and the
+// progress reporter serve; individual accessors (Count, Sum, Quantile)
+// each read live and may straddle a concurrent Observe.
 type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
@@ -75,11 +77,35 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all samples.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
+// bucketEdge is the inclusive integer upper edge of bucket i: bucket 0
+// holds v <= 0, bucket i >= 1 holds v in [2^(i-1), 2^i), whose largest
+// integer is 2^i - 1. The last bucket's edge saturates at MaxInt64.
+func bucketEdge(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
 // Quantile returns an upper bound on the q-quantile (0 < q <= 1) from
-// the power-of-two buckets: the upper edge of the bucket the quantile
-// falls in. Returns 0 with no samples.
+// the power-of-two buckets: the inclusive upper edge of the bucket the
+// quantile falls in. Returns 0 with no samples.
 func (h *Histogram) Quantile(q float64) int64 {
-	total := h.count.Load()
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileOf(&counts, total, q)
+}
+
+// quantileOf computes the bucket-edge quantile from an already-read
+// bucket array, so a Snapshot's quantiles agree with its buckets.
+func quantileOf(counts *[histBuckets]int64, total int64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
@@ -92,18 +118,65 @@ func (h *Histogram) Quantile(q float64) int64 {
 	}
 	var seen int64
 	for i := 0; i < histBuckets; i++ {
-		seen += h.buckets[i].Load()
+		seen += counts[i]
 		if seen >= rank {
-			if i == 0 {
-				return 0
-			}
-			if i >= 63 {
-				return math.MaxInt64
-			}
-			return int64(1) << i
+			return bucketEdge(i)
 		}
 	}
 	return math.MaxInt64
+}
+
+// HistogramBucket is one occupied power-of-two bucket of a snapshot.
+type HistogramBucket struct {
+	// Le is the inclusive integer upper edge of the bucket (0, 1, 3, 7,
+	// ..., MaxInt64).
+	Le int64 `json:"le"`
+	// N counts the samples in this bucket alone (not cumulative).
+	N int64 `json:"n"`
+}
+
+// HistogramSnapshot is a self-consistent point-in-time view of a
+// histogram: Count equals the sum of the bucket counts, and the
+// quantiles are computed from the same bucket read — so exports built
+// from one snapshot (the Prometheus bucket series, /progress) are
+// internally monotone even while Observe runs concurrently. Sum is read
+// separately and may trail the buckets by in-flight observations.
+type HistogramSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum"`
+	P50     int64             `json:"p50"`
+	P99     int64             `json:"p99"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot reads the histogram once into a consistent view; only
+// occupied buckets are materialized.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	occupied := 0
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+		if counts[i] > 0 {
+			occupied++
+		}
+	}
+	snap := HistogramSnapshot{
+		Count: total,
+		Sum:   h.sum.Load(),
+		P50:   quantileOf(&counts, total, 0.50),
+		P99:   quantileOf(&counts, total, 0.99),
+	}
+	if occupied > 0 {
+		snap.Buckets = make([]HistogramBucket, 0, occupied)
+		for i, n := range counts {
+			if n > 0 {
+				snap.Buckets = append(snap.Buckets, HistogramBucket{Le: bucketEdge(i), N: n})
+			}
+		}
+	}
+	return snap
 }
 
 // registry is the process-global metric namespace. Registration is
@@ -155,9 +228,10 @@ func NewHistogram(name string) *Histogram {
 }
 
 // Snapshot returns the current value of every registered metric keyed
-// by name: int64 for counters and gauges, a small map (count/sum/p50/
-// p99) for histograms. It is the payload of the expvar "stbusgen" var,
-// the -metrics-addr /progress endpoint and the progress reporter.
+// by name: int64 for counters and gauges, a HistogramSnapshot (count,
+// sum, p50/p99 and the occupied buckets) for histograms. It is the
+// payload of the expvar "stbusgen" var, the -metrics-addr /progress
+// endpoint and the progress reporter.
 func Snapshot() map[string]any {
 	regMu.Lock()
 	keys := make([]string, len(regKeys))
@@ -176,12 +250,7 @@ func Snapshot() map[string]any {
 		case *Gauge:
 			out[k] = m.Value()
 		case *Histogram:
-			out[k] = map[string]int64{
-				"count": m.Count(),
-				"sum":   m.Sum(),
-				"p50":   m.Quantile(0.50),
-				"p99":   m.Quantile(0.99),
-			}
+			out[k] = m.Snapshot()
 		}
 	}
 	return out

@@ -174,13 +174,13 @@ func TestHistogramQuantiles(t *testing.T) {
 	if h.Count() != 5 || h.Sum() != 1006 {
 		t.Errorf("count/sum = %d/%d, want 5/1006", h.Count(), h.Sum())
 	}
-	// p50 falls in the bucket of 2..3 → upper edge 4.
-	if got := h.Quantile(0.5); got != 4 {
-		t.Errorf("p50 = %d, want 4", got)
+	// p50 falls in the bucket of 2..3 → inclusive upper edge 3.
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %d, want 3", got)
 	}
-	// p99 falls in the bucket of 1000 (512..1023) → upper edge 1024.
-	if got := h.Quantile(0.99); got != 1024 {
-		t.Errorf("p99 = %d, want 1024", got)
+	// p99 falls in the bucket of 1000 (512..1023) → inclusive edge 1023.
+	if got := h.Quantile(0.99); got != 1023 {
+		t.Errorf("p99 = %d, want 1023", got)
 	}
 	if got := (&Histogram{}).Quantile(0.5); got != 0 {
 		t.Errorf("empty histogram p50 = %d, want 0", got)
@@ -193,13 +193,17 @@ func TestSnapshotContainsRegisteredMetrics(t *testing.T) {
 	if _, ok := snap["test.counter"].(int64); !ok {
 		t.Errorf("snapshot missing test.counter: %v", snap["test.counter"])
 	}
-	hv, ok := snap["test.hist"].(map[string]int64)
+	hv, ok := snap["test.hist"].(HistogramSnapshot)
 	if !ok {
-		t.Fatalf("snapshot test.hist = %T, want map[string]int64", snap["test.hist"])
+		t.Fatalf("snapshot test.hist = %T, want HistogramSnapshot", snap["test.hist"])
 	}
-	for _, k := range []string{"count", "sum", "p50", "p99"} {
-		if _, ok := hv[k]; !ok {
-			t.Errorf("histogram snapshot missing %q", k)
+	if hv.Count > 0 {
+		var sum int64
+		for _, b := range hv.Buckets {
+			sum += b.N
+		}
+		if sum != hv.Count {
+			t.Errorf("snapshot buckets sum to %d, count is %d", sum, hv.Count)
 		}
 	}
 }

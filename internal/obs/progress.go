@@ -51,16 +51,22 @@ func LogProgress(w io.Writer, interval time.Duration) (stop func()) {
 	}
 }
 
-// flatSnapshot reduces Snapshot to the scalar metrics (counters and
-// gauges); histograms are summarized by their sample count.
+// flatSnapshot reduces Snapshot to scalar metrics: counters and gauges
+// as-is, histograms as their sample count plus p50/p99 pseudo-metrics —
+// so the progress line and the bus's metric deltas surface quantiles,
+// not just throughput.
 func flatSnapshot() map[string]int64 {
 	out := map[string]int64{}
 	for k, v := range Snapshot() {
 		switch t := v.(type) {
 		case int64:
 			out[k] = t
-		case map[string]int64:
-			out[k+".count"] = t["count"]
+		case HistogramSnapshot:
+			out[k+".count"] = t.Count
+			if t.Count > 0 {
+				out[k+".p50"] = t.P50
+				out[k+".p99"] = t.P99
+			}
 		}
 	}
 	return out
@@ -68,6 +74,8 @@ func flatSnapshot() map[string]int64 {
 
 // progressLine formats one report: elapsed time, then every metric
 // that changed since prev as name=value(+rate/s), sorted by name.
+// Quantile pseudo-metrics (.p50/.p99) are levels, not counts, so they
+// print without a rate.
 func progressLine(elapsed time.Duration, cur, prev map[string]int64, dt time.Duration) string {
 	keys := make([]string, 0, len(cur))
 	for k, v := range cur {
@@ -84,7 +92,8 @@ func progressLine(elapsed time.Duration, cur, prev map[string]int64, dt time.Dur
 	secs := dt.Seconds()
 	for _, k := range keys {
 		delta := cur[k] - prev[k]
-		if secs > 0 && delta > 0 {
+		quantile := strings.HasSuffix(k, ".p50") || strings.HasSuffix(k, ".p99")
+		if secs > 0 && delta > 0 && !quantile {
 			fmt.Fprintf(&b, "  %s=%d (+%.0f/s)", k, cur[k], float64(delta)/secs)
 		} else {
 			fmt.Fprintf(&b, "  %s=%d", k, cur[k])
@@ -93,11 +102,29 @@ func progressLine(elapsed time.Duration, cur, prev map[string]int64, dt time.Dur
 	return b.String()
 }
 
-// ServeMetrics exposes the metrics registry over HTTP on addr
-// ("host:port"; ":0" picks a free port): expvar at /debug/vars and a
-// plain JSON snapshot of the registry at /progress. It returns the
-// bound address and a function that shuts the server down.
-func ServeMetrics(addr string) (bound string, shutdown func() error, err error) {
+// TelemetryConfig tunes ServeTelemetry beyond the always-on endpoints.
+type TelemetryConfig struct {
+	// Bus, when non-nil, is mounted at /events as a Server-Sent Events
+	// stream and fed metric-delta frames by a pump goroutine. Attach the
+	// same bus to a FlightRecorder to interleave live solver events.
+	Bus *Bus
+	// MetricsInterval is the pump's metric-delta publish period
+	// (0 means one second). Ignored without a Bus.
+	MetricsInterval time.Duration
+}
+
+// ServeTelemetry exposes the telemetry surface over HTTP on addr
+// ("host:port"; ":0" picks a free port):
+//
+//	/debug/vars  expvar JSON (includes the "stbusgen" registry snapshot)
+//	/progress    indented JSON snapshot of the metrics registry
+//	/metrics     Prometheus text exposition with full histogram buckets
+//	/events      live SSE stream (requires a TelemetryConfig.Bus; 503 otherwise)
+//
+// It returns the bound address and a function that stops the pump,
+// closes the bus (terminating the SSE streams) and shuts the server
+// down.
+func ServeTelemetry(addr string, cfg TelemetryConfig) (bound string, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
@@ -110,7 +137,76 @@ func ServeMetrics(addr string) (bound string, shutdown func() error, err error) 
 		enc.SetIndent("", "  ")
 		enc.Encode(Snapshot()) //nolint:errcheck // best-effort diagnostics endpoint
 	})
+	mux.Handle("/metrics", PrometheusHandler())
+	if cfg.Bus != nil {
+		mux.Handle("/events", cfg.Bus)
+	} else {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "no event bus attached (start with -metrics-addr via internal/cli)", http.StatusServiceUnavailable)
+		})
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
-	return ln.Addr().String(), srv.Close, nil
+
+	stopPump := func() {}
+	if cfg.Bus != nil {
+		stopPump = startMetricsPump(cfg.Bus, cfg.MetricsInterval)
+	}
+	return ln.Addr().String(), func() error {
+		stopPump()
+		if cfg.Bus != nil {
+			cfg.Bus.Close()
+		}
+		return srv.Close()
+	}, nil
+}
+
+// ServeMetrics is ServeTelemetry without a bus, kept for callers that
+// only want the scrape endpoints.
+func ServeMetrics(addr string) (bound string, shutdown func() error, err error) {
+	return ServeTelemetry(addr, TelemetryConfig{})
+}
+
+// startMetricsPump publishes the changed flat metrics as "metrics"
+// frames on the bus every interval, so SSE subscribers see live rates
+// without polling /progress. Returns a stop function.
+func startMetricsPump(bus *Bus, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		prev := flatSnapshot()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				cur := flatSnapshot()
+				changed := map[string]int64{}
+				for k, v := range cur {
+					if v != prev[k] {
+						changed[k] = v
+					}
+				}
+				prev = cur
+				if len(changed) == 0 {
+					continue
+				}
+				data, err := json.Marshal(changed)
+				if err != nil {
+					continue // unreachable: map[string]int64 marshals cleanly
+				}
+				bus.Publish("metrics", data)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
 }

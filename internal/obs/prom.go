@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4) of the metrics
+// registry, mounted at /metrics by ServeTelemetry. Zero-dependency by
+// design, like the rest of obs: the format is a few lines of text per
+// metric, and emitting it directly keeps the repository free of a
+// client-library dependency while staying scrapeable by any Prometheus
+// (or compatible) collector.
+
+// promContentType is the content type Prometheus scrapers expect for
+// the text exposition format.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName maps a dotted registry name ("milp.warm_solves") to a valid
+// Prometheus metric name ("stbusgen_milp_warm_solves"): every character
+// outside [a-zA-Z0-9_] becomes '_', and the shared namespace prefix
+// keeps the exported names collision-free on a shared scrape target.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len("stbusgen_") + len(name))
+	b.WriteString("stbusgen_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// exposition format: counters as <name>_total, gauges as-is, and
+// histograms with their full cumulative power-of-two bucket series
+// (le is the inclusive integer upper edge of each occupied bucket,
+// trailing empty buckets elided, +Inf always last). Bucket counts,
+// _count and _sum come from one consistent HistogramSnapshot per
+// histogram, so the series is monotone within a single scrape.
+func WritePrometheus(w io.Writer) error {
+	regMu.Lock()
+	keys := make([]string, len(regKeys))
+	copy(keys, regKeys)
+	vals := make(map[string]any, len(regVals))
+	for k, v := range regVals {
+		vals[k] = v
+	}
+	regMu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, k := range keys {
+		name := promName(k)
+		switch m := vals[k].(type) {
+		case *Counter:
+			fmt.Fprintf(bw, "# HELP %s_total Counter %s.\n", name, k)
+			fmt.Fprintf(bw, "# TYPE %s_total counter\n", name)
+			fmt.Fprintf(bw, "%s_total %d\n", name, m.Value())
+		case *Gauge:
+			fmt.Fprintf(bw, "# HELP %s Gauge %s.\n", name, k)
+			fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(bw, "%s %d\n", name, m.Value())
+		case *Histogram:
+			snap := m.Snapshot()
+			fmt.Fprintf(bw, "# HELP %s Power-of-two histogram %s.\n", name, k)
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+			var cum int64
+			for _, b := range snap.Buckets {
+				cum += b.N
+				if b.Le == math.MaxInt64 {
+					// The overflow bucket's finite edge would be misleading;
+					// it is covered by +Inf below.
+					continue
+				}
+				fmt.Fprintf(bw, "%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+			fmt.Fprintf(bw, "%s_sum %d\n", name, snap.Sum)
+			fmt.Fprintf(bw, "%s_count %d\n", name, snap.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// PrometheusHandler serves WritePrometheus over HTTP — the /metrics
+// endpoint of ServeTelemetry.
+func PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", promContentType)
+		WritePrometheus(w) //nolint:errcheck // best-effort diagnostics endpoint
+	})
+}
