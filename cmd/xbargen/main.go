@@ -77,17 +77,8 @@ func run(ctx context.Context) (err error) {
 		OptimizeBinding:  !*noBind,
 		Workers:          cli.Workers(),
 	}
-	switch *engine {
-	case "bb":
-		opts.Engine = core.EngineBranchBound
-	case "milp":
-		opts.Engine = core.EngineMILP
-	case "anneal":
-		opts.Engine = core.EngineAnneal
-	case "portfolio":
-		opts.Engine = core.EnginePortfolio
-	default:
-		return fmt.Errorf("unknown -engine %q (want bb, milp, anneal or portfolio)", *engine)
+	if opts.Engine, err = cli.ParseEngine(*engine); err != nil {
+		return fmt.Errorf("-engine: %w", err)
 	}
 	if *cacheDir != "" {
 		opts.Cache = cache.New(cache.Config{Dir: *cacheDir})

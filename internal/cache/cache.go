@@ -58,10 +58,20 @@ type Config struct {
 	// MaxDeltaFrac bounds how different a cached problem may be and
 	// still lend its binding as a warm incumbent: the number of
 	// differing constraint cells (trace.CountDiffs) must not exceed
-	// this fraction of the problem's dense cell count. 0 means
-	// DefaultMaxDeltaFrac; negative disables warm lookups entirely.
-	MaxDeltaFrac float64
+	// this fraction of the problem's dense cell count. nil means
+	// DefaultMaxDeltaFrac; use Delta to set an explicit value. Delta(0)
+	// means exact-match-only — any perturbed problem misses — and a
+	// negative value skips the warm scan entirely (same admissions as
+	// zero, without walking the LRU). The field is a pointer precisely
+	// so the zero fraction is expressible: an earlier float64 field
+	// treated 0 as "unset" and silently promoted it to the default,
+	// making exact-only caching unreachable.
+	MaxDeltaFrac *float64
 }
+
+// Delta returns a pointer to f for Config.MaxDeltaFrac — the explicit
+// counterpart of leaving the field nil (default tolerance).
+func Delta(f float64) *float64 { return &f }
 
 const (
 	// DefaultMaxEntries is sized for the repository's workloads: the
@@ -93,6 +103,7 @@ type entry struct {
 type Store struct {
 	mu    sync.Mutex
 	cfg   Config
+	delta float64    // resolved Config.MaxDeltaFrac (nil → default)
 	lru   *list.List // of *entry; front = most recently used
 	byKey map[key]*entry
 }
@@ -104,11 +115,13 @@ func New(cfg Config) *Store {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = DefaultMaxEntries
 	}
-	if cfg.MaxDeltaFrac == 0 {
-		cfg.MaxDeltaFrac = DefaultMaxDeltaFrac
+	delta := DefaultMaxDeltaFrac
+	if cfg.MaxDeltaFrac != nil {
+		delta = *cfg.MaxDeltaFrac
 	}
 	return &Store{
 		cfg:   cfg,
+		delta: delta,
 		lru:   list.New(),
 		byKey: make(map[key]*entry),
 	}
@@ -156,7 +169,7 @@ func (s *Store) Lookup(ctx context.Context, a *trace.Analysis, opts core.Options
 // same option fingerprint and receiver count whose constraint diff is
 // within the delta budget lends its binding as an incumbent.
 func (s *Store) Warm(ctx context.Context, a *trace.Analysis, opts core.Options) *core.Incumbent {
-	if s.cfg.MaxDeltaFrac < 0 {
+	if s.delta < 0 {
 		return nil
 	}
 	// Dense cell count of the compared content: Comm and CritComm plus
@@ -165,7 +178,7 @@ func (s *Store) Warm(ctx context.Context, a *trace.Analysis, opts core.Options) 
 	// sparsity levels.)
 	nT := a.NumReceivers
 	total := 2*nT*a.NumWindows() + nT*(nT-1)/2
-	limit := int(s.cfg.MaxDeltaFrac * float64(total))
+	limit := int(s.delta * float64(total))
 	ofp := opts.Fingerprint()
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -218,13 +218,13 @@ func TestWarmLookup(t *testing.T) {
 		t.Fatal("warm hit across option fingerprints")
 	}
 	// Warm lookups disabled.
-	off := New(Config{MaxDeltaFrac: -1})
+	off := New(Config{MaxDeltaFrac: Delta(-1)})
 	off.Store(testCtx, base, opts, d)
 	if inc := off.Warm(testCtx, base, opts); inc != nil {
 		t.Fatal("disabled warm tier served an incumbent")
 	}
 	// A wholesale different problem is past any delta budget.
-	tight := New(Config{MaxDeltaFrac: 0.01})
+	tight := New(Config{MaxDeltaFrac: Delta(0.01)})
 	tight.Store(testCtx, base, opts, d)
 	far := mkAnalysis(t, 7)
 	if inc := tight.Warm(testCtx, far, opts); inc != nil {
@@ -271,5 +271,40 @@ func TestConcurrentSameFingerprint(t *testing.T) {
 	}
 	if s.Len() != 1 {
 		t.Fatalf("cache holds %d entries for one fingerprint", s.Len())
+	}
+}
+
+// TestZeroDeltaExactOnly pins the Config.MaxDeltaFrac zero-value
+// semantics: Delta(0) means exact-match-only — a single perturbed
+// constraint cell must miss the warm tier — while leaving the field
+// nil keeps the default tolerance that admits the same perturbation.
+// (A float64 field once treated 0 as "unset" and promoted it to the
+// 0.15 default, making exact-only caching unreachable.)
+func TestZeroDeltaExactOnly(t *testing.T) {
+	base := mkAnalysis(t, 0)
+	opts := testOpts()
+	d := &core.Design{NumBuses: 2, BusOf: []int{0, 1, 0, 1}, MaxBusOverlap: 3}
+
+	// One perturbed cell: same shape and windows, one Comm value off by
+	// one cycle.
+	perturbed := base.Clone()
+	perturbed.Comm.Set(0, 0, base.Comm.At(0, 0)+1)
+	if diffs, ok := trace.CountDiffs(perturbed, base, 0); !ok || diffs != 1 {
+		t.Fatalf("perturbation diffs = %d (ok=%v), want exactly 1", diffs, ok)
+	}
+
+	exact := New(Config{MaxDeltaFrac: Delta(0)})
+	exact.Store(testCtx, base, opts, d)
+	if _, ok := exact.Lookup(testCtx, base, opts); !ok {
+		t.Fatal("identical content must still hit exactly at Delta(0)")
+	}
+	if inc := exact.Warm(testCtx, perturbed, opts); inc != nil {
+		t.Fatalf("1-cell perturbation warm-served at Delta(0): %+v", inc)
+	}
+
+	dflt := New(Config{})
+	dflt.Store(testCtx, base, opts, d)
+	if inc := dflt.Warm(testCtx, perturbed, opts); inc == nil {
+		t.Fatal("1-cell perturbation must warm-serve under the default tolerance")
 	}
 }

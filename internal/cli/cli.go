@@ -19,6 +19,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -155,12 +156,20 @@ func StartObs(ctx context.Context) (_ context.Context, finish func() error, err 
 	if *metricsAddr != "" {
 		bus := obs.NewBus()
 		rec.AttachBus(bus)
-		bound, stop, err := obs.ServeTelemetry(*metricsAddr, obs.TelemetryConfig{Bus: bus})
+		bound, serveErr, stop, err := obs.ServeTelemetry(*metricsAddr, obs.TelemetryConfig{Bus: bus})
 		if err != nil {
 			closeFiles()
 			return ctx, nil, fmt.Errorf("-metrics-addr: %w", err)
 		}
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s — /debug/vars /progress /metrics /events\n", bound)
+		// A telemetry server that dies mid-run (port stolen, fd
+		// exhaustion) must not fail silently: log it when it happens; the
+		// shutdown func surfaces it again on the tool's error path.
+		go func() {
+			if err := <-serveErr; err != nil {
+				log.Print(err)
+			}
+		}()
 		stopHTTP = stop
 	}
 	if *progressIntv > 0 {
@@ -211,6 +220,22 @@ var workersFlag = flag.Int("workers", 0, "parallel solver workers (0 = all CPU c
 // Workers reports the -workers flag for tools to place into
 // core.Options.Workers.
 func Workers() int { return *workersFlag }
+
+// ParseEngine maps the user-facing engine names shared by the -engine
+// flags and the daemon's engine= request parameter onto core.Engine.
+func ParseEngine(name string) (core.Engine, error) {
+	switch name {
+	case "", "bb":
+		return core.EngineBranchBound, nil
+	case "milp":
+		return core.EngineMILP, nil
+	case "anneal":
+		return core.EngineAnneal, nil
+	case "portfolio":
+		return core.EnginePortfolio, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want bb, milp, anneal or portfolio)", name)
+}
 
 // Main is the shared entry point of the command-line tools: logger
 // prefix, flag parsing, then Run around the tool body. Tools reduce to

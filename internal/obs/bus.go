@@ -1,7 +1,6 @@
 package obs
 
 import (
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -21,20 +20,28 @@ type Bus struct {
 	closed bool
 }
 
-// busFrame is one named payload on the bus (an SSE event).
-type busFrame struct {
-	name string
-	data []byte
+// BusFrame is one named payload on the bus (an SSE event).
+type BusFrame struct {
+	Name string
+	Data []byte
 }
 
 // BusSub is one subscription. Frames arrive on ch; dropped counts the
 // frames the bus discarded because ch was full when they were
 // published.
 type BusSub struct {
-	ch      chan busFrame
+	ch      chan BusFrame
 	done    chan struct{} // closed by Bus.Close
 	dropped atomic.Int64
 }
+
+// Frames returns the subscription's delivery channel. Callers that use
+// the bus purely as a wakeup signal may receive and discard.
+func (s *BusSub) Frames() <-chan BusFrame { return s.ch }
+
+// Done returns a channel closed when the bus shuts down — the stream's
+// end-of-life signal.
+func (s *BusSub) Done() <-chan struct{} { return s.done }
 
 // Dropped reports how many frames this subscriber lost to backpressure.
 func (s *BusSub) Dropped() int64 { return s.dropped.Load() }
@@ -64,7 +71,7 @@ func (b *Bus) Subscribe(buffer int) *BusSub {
 	if buffer <= 0 {
 		buffer = DefaultSubBuffer
 	}
-	s := &BusSub{ch: make(chan busFrame, buffer), done: make(chan struct{})}
+	s := &BusSub{ch: make(chan BusFrame, buffer), done: make(chan struct{})}
 	b.mu.Lock()
 	if b.closed {
 		close(s.done)
@@ -113,7 +120,7 @@ func (b *Bus) Publish(name string, data []byte) {
 	b.mu.RLock()
 	for s := range b.subs {
 		select {
-		case s.ch <- busFrame{name: name, data: data}:
+		case s.ch <- BusFrame{Name: name, Data: data}:
 		default:
 			s.dropped.Add(1)
 			metBusDropped.Inc()
@@ -126,13 +133,9 @@ func (b *Bus) Publish(name string, data []byte) {
 // PublishEvent publishes a flight-recorder event as a "flight" frame,
 // marshaled once for all subscribers.
 func (b *Bus) PublishEvent(e Event) {
-	je := eventJSON{Seq: e.Seq, T: e.T, Kind: e.Kind.String(),
-		K: e.K, Val: e.Val, Aux: e.Aux, Who: e.Who, Flag: e.Flag}
-	data, err := json.Marshal(je)
-	if err != nil {
-		return // unreachable: eventJSON marshals cleanly by construction
+	if data := e.WireJSON(); data != nil {
+		b.Publish("flight", data)
 	}
-	b.Publish("flight", data)
 }
 
 // sseHeartbeat is the idle keepalive period of the SSE handler: a
@@ -178,7 +181,7 @@ func (b *Bus) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(w, "event: dropped\ndata: {\"dropped\":%d}\n\n", d)
 				reported = d
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.name, f.data)
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.Name, f.Data)
 			fl.Flush()
 		case <-heartbeat.C:
 			fmt.Fprint(w, ": keepalive\n\n")

@@ -237,6 +237,15 @@ func (r *FlightRecorder) Dropped() int64 {
 
 // Events returns the retained events in emission order (oldest first).
 func (r *FlightRecorder) Events() []Event {
+	return r.EventsSince(0)
+}
+
+// EventsSince returns the retained events with Seq >= seq in emission
+// order — the incremental read the per-job SSE streamer uses: keep a
+// cursor of the last sequence seen and ask only for what is new, so a
+// wakeup costs O(new events), not O(ring). Events already overwritten
+// by the ring are silently absent (the caller observes the gap in Seq).
+func (r *FlightRecorder) EventsSince(seq int64) []Event {
 	if r == nil {
 		return nil
 	}
@@ -246,6 +255,12 @@ func (r *FlightRecorder) Events() []Event {
 	first := int64(0)
 	if r.n > size {
 		first = r.n - size
+	}
+	if seq > first {
+		first = seq
+	}
+	if first >= r.n {
+		return nil
 	}
 	out := make([]Event, 0, r.n-first)
 	for s := first; s < r.n; s++ {
@@ -293,6 +308,20 @@ type eventJSON struct {
 	Aux  int64  `json:"aux,omitempty"`
 	Who  string `json:"who,omitempty"`
 	Flag bool   `json:"flag,omitempty"`
+}
+
+// WireJSON renders e in the recording wire form — the same JSON object
+// the NDJSON export and the bus's "flight" SSE frames carry — so other
+// packages (the daemon's per-job event streams) emit byte-identical
+// frames without re-deriving the schema.
+func (e Event) WireJSON() []byte {
+	je := eventJSON{Seq: e.Seq, T: e.T, Kind: e.Kind.String(),
+		K: e.K, Val: e.Val, Aux: e.Aux, Who: e.Who, Flag: e.Flag}
+	data, err := json.Marshal(je)
+	if err != nil {
+		return nil // unreachable: eventJSON marshals cleanly by construction
+	}
+	return data
 }
 
 // WriteNDJSON exports the recording: one JSON header line (FlightMeta)

@@ -209,7 +209,7 @@ func TestSnapshotContainsRegisteredMetrics(t *testing.T) {
 }
 
 func TestServeMetrics(t *testing.T) {
-	bound, shutdown, err := ServeMetrics("127.0.0.1:0")
+	bound, _, shutdown, err := ServeMetrics("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

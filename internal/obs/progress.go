@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"io"
@@ -111,7 +113,17 @@ type TelemetryConfig struct {
 	// MetricsInterval is the pump's metric-delta publish period
 	// (0 means one second). Ignored without a Bus.
 	MetricsInterval time.Duration
+	// ShutdownTimeout bounds how long the shutdown function waits for
+	// in-flight requests (mid-scrape /metrics readers, SSE streams
+	// writing their bye frame) before hard-closing the server
+	// (0 means DefaultShutdownTimeout).
+	ShutdownTimeout time.Duration
 }
+
+// DefaultShutdownTimeout is the graceful-drain budget of the telemetry
+// server's shutdown function: generous against a slow scrape, short
+// enough that a wedged client cannot stall process exit noticeably.
+const DefaultShutdownTimeout = 5 * time.Second
 
 // ServeTelemetry exposes the telemetry surface over HTTP on addr
 // ("host:port"; ":0" picks a free port):
@@ -121,13 +133,21 @@ type TelemetryConfig struct {
 //	/metrics     Prometheus text exposition with full histogram buckets
 //	/events      live SSE stream (requires a TelemetryConfig.Bus; 503 otherwise)
 //
-// It returns the bound address and a function that stops the pump,
-// closes the bus (terminating the SSE streams) and shuts the server
-// down.
-func ServeTelemetry(addr string, cfg TelemetryConfig) (bound string, shutdown func() error, err error) {
+// It returns the bound address, a channel on which a failed
+// http.Server.Serve surfaces its error (closed when the serve loop
+// ends; ErrServerClosed is filtered out, so a receive yields nil on any
+// clean shutdown — long-running daemons select on it in their run
+// loop), and a shutdown function.
+//
+// Shutdown is graceful: the metrics pump stops, the bus closes (every
+// SSE subscriber receives its bye frame), then the server drains
+// in-flight requests for TelemetryConfig.ShutdownTimeout before falling
+// back to a hard Close — a subscriber connected at shutdown sees a
+// clean end of stream, never a reset.
+func ServeTelemetry(addr string, cfg TelemetryConfig) (bound string, serveErr <-chan error, shutdown func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", nil, fmt.Errorf("obs: metrics listener: %w", err)
+		return "", nil, nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -146,24 +166,47 @@ func ServeTelemetry(addr string, cfg TelemetryConfig) (bound string, shutdown fu
 		})
 	}
 	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on shutdown
+	errCh := make(chan error, 1)
+	go func() {
+		if e := srv.Serve(ln); e != nil && !errors.Is(e, http.ErrServerClosed) {
+			errCh <- fmt.Errorf("obs: telemetry serve: %w", e)
+		}
+		close(errCh)
+	}()
 
 	stopPump := func() {}
 	if cfg.Bus != nil {
 		stopPump = startMetricsPump(cfg.Bus, cfg.MetricsInterval)
 	}
-	return ln.Addr().String(), func() error {
+	deadline := cfg.ShutdownTimeout
+	if deadline <= 0 {
+		deadline = DefaultShutdownTimeout
+	}
+	return ln.Addr().String(), errCh, func() error {
 		stopPump()
 		if cfg.Bus != nil {
+			// Closing the bus first lets every SSE handler write its bye
+			// frame and return before the server starts counting idle
+			// connections, so Shutdown below drains instead of racing.
 			cfg.Bus.Close()
 		}
-		return srv.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), deadline)
+		defer cancel()
+		var errs []error
+		if e := srv.Shutdown(sctx); e != nil {
+			errs = append(errs, fmt.Errorf("obs: telemetry shutdown: %w", e))
+			srv.Close() //nolint:errcheck // hard fallback past the drain deadline
+		}
+		// The serve goroutine has exited by now (Shutdown/Close closed
+		// the listener); surface any error it hit, nil on clean close.
+		errs = append(errs, <-errCh)
+		return errors.Join(errs...)
 	}, nil
 }
 
 // ServeMetrics is ServeTelemetry without a bus, kept for callers that
 // only want the scrape endpoints.
-func ServeMetrics(addr string) (bound string, shutdown func() error, err error) {
+func ServeMetrics(addr string) (bound string, serveErr <-chan error, shutdown func() error, err error) {
 	return ServeTelemetry(addr, TelemetryConfig{})
 }
 

@@ -166,7 +166,7 @@ func TestPrometheusExposition(t *testing.T) {
 
 func TestServeTelemetryEndpoints(t *testing.T) {
 	bus := NewBus()
-	bound, shutdown, err := ServeTelemetry("127.0.0.1:0", TelemetryConfig{Bus: bus})
+	bound, _, shutdown, err := ServeTelemetry("127.0.0.1:0", TelemetryConfig{Bus: bus})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestServeTelemetryEndpoints(t *testing.T) {
 		t.Error("/metrics exposition has no TYPE lines")
 	}
 	// /events without a bus answers 503; with one, it streams.
-	noBus, stop2, err := ServeTelemetry("127.0.0.1:0", TelemetryConfig{})
+	noBus, _, stop2, err := ServeTelemetry("127.0.0.1:0", TelemetryConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

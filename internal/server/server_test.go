@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/benchprobs"
+	"repro/internal/trace"
+)
+
+// testConfig is a small, quiet server configuration for tests.
+func testConfig() Config {
+	return Config{
+		Addr:           "127.0.0.1:0",
+		Concurrency:    2,
+		QueueDepth:     4,
+		DefaultTimeout: 30 * time.Second,
+		DrainTimeout:   10 * time.Second,
+	}
+}
+
+// newTestServer starts a Server behind an httptest listener and wires
+// orderly teardown: drain jobs, then the HTTP layer, then the pool.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(context.Background(), cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		s.Drain(dctx)
+		cancel()
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// slowTrace returns a trace whose design takes long enough to observe
+// in flight (roughly a hundred milliseconds) but finishes well within
+// test deadlines.
+func slowTrace(seed int64) *trace.Trace {
+	return benchprobs.PerturbTrace(benchprobs.TraceN(16), 0.3, seed)
+}
+
+func traceBody(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func postDesign(t *testing.T, url string, body []byte) (*jobJSON, int) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var j jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return &j, resp.StatusCode
+}
+
+// pollJob polls /v1/jobs/{id} until pred accepts the status or the
+// deadline passes.
+func pollJob(t *testing.T, base, id string, pred func(*jobJSON) bool) *jobJSON {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET job %s: %v", id, err)
+		}
+		var j jobJSON
+		err = json.NewDecoder(resp.Body).Decode(&j)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode job %s: %v", id, err)
+		}
+		if pred(&j) {
+			return &j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s: still %q after deadline", id, j.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readSSE consumes an event stream until a "bye" frame or EOF.
+func readSSE(r *bufio.Reader) ([]sseFrame, error) {
+	var frames []sseFrame
+	var cur sseFrame
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return frames, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				frames = append(frames, cur)
+				if cur.event == "bye" {
+					return frames, nil
+				}
+				cur = sseFrame{}
+			}
+		}
+	}
+}
+
+// TestDesignEndToEnd is the daemon's core acceptance test: a first
+// solve populates the shared cache, a repeat of the identical request
+// is served from it (microseconds, not a re-solve), a perturbed
+// request runs concurrently and streams live SSE progress, and the
+// three interleave without interference.
+func TestDesignEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	designURL := hs.URL + "/v1/design"
+	body := traceBody(t, slowTrace(1))
+
+	// Cold solve: a real search, journaled per-job.
+	first, code := postDesign(t, designURL, body)
+	if code != http.StatusOK {
+		t.Fatalf("cold POST: status %d (%+v)", code, first)
+	}
+	if first.Status != "done" || first.Design == nil {
+		t.Fatalf("cold POST: status=%q design=%v", first.Status, first.Design)
+	}
+	if first.Cached != "" {
+		t.Fatalf("cold POST unexpectedly cached via %q", first.Cached)
+	}
+	if first.Design.NumBuses <= 0 || first.Design.NumBuses > 16 {
+		t.Fatalf("cold POST: implausible bus count %d", first.Design.NumBuses)
+	}
+
+	// Identical repeat and a perturbed sibling, concurrently.
+	var wg sync.WaitGroup
+	var repeat *jobJSON
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		repeat, _ = postDesign(t, designURL, body)
+	}()
+
+	perturbed, code := postDesign(t, designURL+"?async=1", traceBody(t, slowTrace(2)))
+	if code != http.StatusAccepted {
+		t.Fatalf("async POST: status %d", code)
+	}
+
+	// Stream the perturbed job's progress while it solves.
+	resp, err := http.Get(hs.URL + perturbed.EventsURL)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	frames, err := readSSE(bufio.NewReader(resp.Body))
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read SSE: %v (got %d frames)", err, len(frames))
+	}
+	var flights, results int
+	for _, f := range frames {
+		switch f.event {
+		case "flight":
+			flights++
+		case "result":
+			results++
+		}
+	}
+	if flights == 0 {
+		t.Errorf("SSE: no flight events streamed for the running job")
+	}
+	if results != 1 {
+		t.Errorf("SSE: got %d result frames, want 1", results)
+	}
+	last := frames[len(frames)-1]
+	if last.event != "bye" {
+		t.Errorf("SSE: stream ended with %q, want bye", last.event)
+	}
+
+	wg.Wait()
+	if repeat.Status != "done" || repeat.Design == nil {
+		t.Fatalf("repeat POST: status=%q", repeat.Status)
+	}
+	if repeat.Cached != "memory" {
+		t.Fatalf("repeat POST: cached=%q, want memory hit", repeat.Cached)
+	}
+	// A content hit skips the search entirely: its service time is
+	// microseconds. The bound is generous for race-detector CI noise.
+	if repeat.ElapsedNS > (50 * time.Millisecond).Nanoseconds() {
+		t.Errorf("repeat POST took %s — not a cache hit fast path", time.Duration(repeat.ElapsedNS))
+	}
+	if repeat.Design.NumBuses != first.Design.NumBuses {
+		t.Errorf("repeat bus count %d != first %d", repeat.Design.NumBuses, first.Design.NumBuses)
+	}
+
+	done := pollJob(t, hs.URL, perturbed.Job, func(j *jobJSON) bool { return j.Status == "done" })
+	if done.Design == nil || done.Design.NumBuses <= 0 {
+		t.Errorf("perturbed job: no design in terminal status")
+	}
+	if done.Cached != "" {
+		t.Errorf("perturbed job unexpectedly an exact cache hit (%q)", done.Cached)
+	}
+}
+
+// TestQueueSaturation429 pins admission control: with one worker held
+// mid-job and the queue full, the next POST is rejected with 429 and a
+// Retry-After hint, and the queue recovers once the worker is released.
+func TestQueueSaturation429(t *testing.T) {
+	cfg := testConfig()
+	cfg.Concurrency = 1
+	cfg.QueueDepth = 1
+	s, hs := newTestServer(t, cfg)
+
+	entered := make(chan string, 4)
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	s.testHookJobRunning = func(j *job) {
+		entered <- j.id
+		<-release
+	}
+
+	body := traceBody(t, slowTrace(3))
+	// Job 1 occupies the only worker (held by the hook)...
+	running, code := postDesign(t, hs.URL+"/v1/design?async=1", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("job 1: status %d", code)
+	}
+	select {
+	case <-entered:
+	case <-time.After(10 * time.Second):
+		t.Fatal("job 1 never started")
+	}
+	// ...job 2 fills the one queue slot...
+	if _, code := postDesign(t, hs.URL+"/v1/design?async=1", body); code != http.StatusAccepted {
+		t.Fatalf("job 2: status %d", code)
+	}
+	// ...and job 3 must bounce.
+	resp, err := http.Post(hs.URL+"/v1/design", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("job 3: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job 3: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 carried no Retry-After")
+	}
+	var e errorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Reason != "queue_full" {
+		t.Errorf("429 body: reason=%q err=%v, want queue_full", e.Reason, err)
+	}
+
+	once.Do(func() { close(release) })
+	pollJob(t, hs.URL, running.Job, func(j *jobJSON) bool { return j.Status == "done" })
+}
+
+// TestAppSpecDesign covers the structural-input route: a named
+// benchmark application runs the full four-phase methodology and
+// returns both crossbar directions.
+func TestAppSpecDesign(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	resp, err := http.Post(hs.URL+"/v1/design", "application/json",
+		strings.NewReader(`{"app":"mat2"}`))
+	if err != nil {
+		t.Fatalf("POST app: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST app: status %d", resp.StatusCode)
+	}
+	var j jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if j.Request == nil || j.Response == nil {
+		t.Fatalf("app job missing a direction: req=%v resp=%v", j.Request, j.Response)
+	}
+	if j.Request.NumBuses <= 0 || j.Response.NumBuses <= 0 {
+		t.Errorf("implausible bus counts: req=%d resp=%d", j.Request.NumBuses, j.Response.NumBuses)
+	}
+}
+
+// TestBadRequests pins the rejection surface: unknown app, unknown
+// engine, bad content type, and garbage binary bodies all answer 4xx
+// with a JSON error, never a 500.
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	cases := []struct {
+		name, url, ct, body string
+		want                int
+	}{
+		{"unknown app", "/v1/design", "application/json", `{"app":"nope"}`, 400},
+		{"unknown engine", "/v1/design?engine=quantum", "application/json", `{"app":"mat1"}`, 400},
+		{"bad content type", "/v1/design", "text/csv", "a,b", 415},
+		{"garbage binary", "/v1/design", "application/octet-stream", "not a trace", 400},
+		{"bad mode", "/v1/design?mode=wat", "application/json", `{"app":"mat1"}`, 400},
+		{"negative timeout", "/v1/design?timeout=-1s", "application/json", `{"app":"mat1"}`, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(hs.URL+tc.url, tc.ct, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d", resp.StatusCode, tc.want)
+			}
+			var e errorJSON
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+				t.Errorf("error body not JSON: %v", err)
+			}
+		})
+	}
+
+	// Unknown job ids 404 on both status and events.
+	for _, path := range []string{"/v1/jobs/j-999999", "/v1/jobs/j-999999/events"} {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSSEAfterCompletion pins the replay half of the stream contract: a
+// subscriber arriving after the job finished still receives the full
+// journal, the result frame, and a clean bye.
+func TestSSEAfterCompletion(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	j, code := postDesign(t, hs.URL+"/v1/design", traceBody(t, slowTrace(4)))
+	if code != http.StatusOK {
+		t.Fatalf("POST: status %d", code)
+	}
+	resp, err := http.Get(hs.URL + j.EventsURL)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	frames, err := readSSE(bufio.NewReader(resp.Body))
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read SSE: %v", err)
+	}
+	var flights int
+	var result *jobJSON
+	for _, f := range frames {
+		switch f.event {
+		case "flight":
+			flights++
+		case "result":
+			result = new(jobJSON)
+			if err := json.Unmarshal([]byte(f.data), result); err != nil {
+				t.Fatalf("result frame: %v", err)
+			}
+		}
+	}
+	if flights == 0 {
+		t.Errorf("no journal replay for a finished job")
+	}
+	if result == nil || result.Status != "done" {
+		t.Errorf("result frame missing or not done: %+v", result)
+	}
+	if frames[len(frames)-1].event != "bye" {
+		t.Errorf("stream ended with %q, want bye", frames[len(frames)-1].event)
+	}
+}
+
+// TestSigtermDrain runs the real daemon lifecycle: Run on a live
+// listener, a job in flight, SIGTERM mid-solve. The daemon must stop
+// admitting, let the job finish (its SSE subscriber sees the terminal
+// result), and Run must return cleanly.
+func TestSigtermDrain(t *testing.T) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	cfg := testConfig()
+	addrCh := make(chan net.Addr, 1)
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- Run(ctx, cfg, func(a net.Addr) { addrCh <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrCh:
+		base = "http://" + a.String()
+	case err := <-runErr:
+		t.Fatalf("Run exited before listening: %v", err)
+	}
+	if err := waitHealthy(base, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	j, code := postDesign(t, base+"/v1/design?async=1", traceBody(t, slowTrace(5)))
+	if code != http.StatusAccepted {
+		t.Fatalf("async POST: status %d", code)
+	}
+	// Subscribe before the signal: the stream must survive the drain
+	// long enough to deliver the job's terminal frames.
+	stream, err := http.Get(base + j.EventsURL)
+	if err != nil {
+		t.Fatalf("GET events: %v", err)
+	}
+	defer stream.Body.Close()
+	pollJob(t, base, j.Job, func(s *jobJSON) bool { return s.Status != "queued" })
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	frames, err := readSSE(bufio.NewReader(stream.Body))
+	if err != nil {
+		t.Fatalf("SSE through drain: %v (%d frames)", err, len(frames))
+	}
+	var result *jobJSON
+	for _, f := range frames {
+		if f.event == "result" {
+			result = new(jobJSON)
+			if err := json.Unmarshal([]byte(f.data), result); err != nil {
+				t.Fatalf("result frame: %v", err)
+			}
+		}
+	}
+	if result == nil {
+		t.Fatal("drained job delivered no terminal result frame")
+	}
+	if result.Status != "done" {
+		t.Errorf("drained job status %q, want done (graceful drain finishes in-flight work)", result.Status)
+	}
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("Run returned %v after drain, want nil", err)
+		}
+	case <-time.After(cfg.DrainTimeout + 10*time.Second):
+		t.Fatal("Run did not return after SIGTERM")
+	}
+
+	// The listener is down: new connections must fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestDrainRejectsNewWork pins the admission side of the drain: once
+// draining, POST answers 503 and /healthz flips unhealthy, while
+// status polling for existing jobs keeps working.
+func TestDrainRejectsNewWork(t *testing.T) {
+	s, hs := newTestServer(t, testConfig())
+	j, code := postDesign(t, hs.URL+"/v1/design", traceBody(t, slowTrace(6)))
+	if code != http.StatusOK {
+		t.Fatalf("POST: status %d", code)
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	s.Drain(dctx)
+	cancel()
+
+	if _, code := postDesign(t, hs.URL+"/v1/design", traceBody(t, slowTrace(7))); code != http.StatusServiceUnavailable {
+		t.Errorf("POST while draining: status %d, want 503", code)
+	}
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	got := pollJob(t, hs.URL, j.Job, func(x *jobJSON) bool { return x.Status == "done" })
+	if got.Design == nil {
+		t.Error("finished job lost its design during drain")
+	}
+}
+
+// TestAsyncLocationHeader pins the 202 contract.
+func TestAsyncLocationHeader(t *testing.T) {
+	_, hs := newTestServer(t, testConfig())
+	resp, err := http.Post(hs.URL+"/v1/design?async=1", "application/json",
+		strings.NewReader(`{"app":"mat1"}`))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d, want 202", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, "/v1/jobs/") {
+		t.Fatalf("Location %q", loc)
+	}
+	var j jobJSON
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if fmt.Sprintf("/v1/jobs/%s", j.Job) != loc {
+		t.Errorf("Location %q does not match job id %q", loc, j.Job)
+	}
+	pollJob(t, hs.URL, j.Job, func(x *jobJSON) bool { return x.Status == "done" || x.Status == "failed" })
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// sseHeartbeat keeps idle job streams alive through proxies.
+const sseHeartbeat = 15 * time.Second
+
+// handleJobEvents streams one job's flight recording as Server-Sent
+// Events: every event already journaled is replayed first, then live
+// events follow as the solver emits them, and the stream ends with a
+// "result" frame (the job's terminal status) and a "bye" frame.
+//
+// The implementation reads events from the job's recorder with a
+// sequence cursor and uses the job's bus purely as a wakeup: a frame
+// arriving (or being dropped under backpressure — drops only cost
+// wakeups, never events) means the cursor has new events to drain.
+// That gives replay-then-live semantics with no duplicated or lost
+// events, a property the bus alone (live-only) cannot provide.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "internal", "streaming unsupported")
+		return
+	}
+
+	// Subscribe before the first drain: events emitted between the
+	// drain and the subscription would otherwise neither be replayed
+	// nor wake the stream. A finished job's bus is already closed, and
+	// its subscription arrives with done already closed — the loop
+	// below then drains the journal once and finishes immediately.
+	sub := j.bus.Subscribe(0)
+	defer j.bus.Unsubscribe(sub)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, ": job %s stream open\n\n", j.id)
+
+	var cursor int64
+	drain := func() {
+		for _, e := range j.rec.EventsSince(cursor) {
+			cursor = e.Seq + 1
+			fmt.Fprintf(w, "event: flight\ndata: %s\n\n", e.WireJSON())
+		}
+	}
+	finishStream := func() {
+		drain()
+		if data, err := json.Marshal(j.wire()); err == nil {
+			fmt.Fprintf(w, "event: result\ndata: %s\n\n", data)
+		}
+		fmt.Fprint(w, "event: bye\ndata: {}\n\n")
+		fl.Flush()
+	}
+
+	drain()
+	fl.Flush()
+
+	heartbeat := time.NewTicker(sseHeartbeat)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-sub.Done():
+			finishStream()
+			return
+		case <-sub.Frames():
+			// Coalesce queued wakeups before draining once.
+			for {
+				select {
+				case <-sub.Frames():
+					continue
+				default:
+				}
+				break
+			}
+			drain()
+			fl.Flush()
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			fl.Flush()
+		}
+	}
+}

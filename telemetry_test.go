@@ -89,7 +89,7 @@ func TestTelemetryLiveStream(t *testing.T) {
 	rec := obs.NewFlightRecorder(obs.DefaultFlightCapacity)
 	bus := obs.NewBus()
 	rec.AttachBus(bus)
-	bound, shutdown, err := obs.ServeTelemetry("127.0.0.1:0", obs.TelemetryConfig{Bus: bus})
+	bound, _, shutdown, err := obs.ServeTelemetry("127.0.0.1:0", obs.TelemetryConfig{Bus: bus})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestPrometheusScrapeDuringSolve(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full solve in -short mode")
 	}
-	bound, shutdown, err := obs.ServeTelemetry("127.0.0.1:0", obs.TelemetryConfig{})
+	bound, _, shutdown, err := obs.ServeTelemetry("127.0.0.1:0", obs.TelemetryConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
