@@ -5,22 +5,32 @@
 // in-tree `go test -bench Analyze` benchmarks in internal/trace, so
 // numbers from either source are comparable.
 //
-// Three configurations run per case: "legacy" is the original O(R²)
-// pairwise interval-set intersection kernel (retained behind
+// Configurations per case: "legacy" is the original O(R²) pairwise
+// interval-set intersection kernel (retained behind
 // trace.AnalyzeLegacy), "sweep" is the single-pass sweep-line kernel
-// that replaced it, and "stream" is the same kernel fed the binary
-// trace encoding through trace.AnalyzeReader without materializing the
-// event slice. Before timing anything, every case's three outputs are
-// cross-checked bit-identical; a mismatch aborts the run.
+// that replaced it, "stream" is the same kernel fed the binary trace
+// encoding through trace.AnalyzeReader without materializing the event
+// slice, and — on the ≥1M-event cases — "sharded-N" runs the parallel
+// sharded driver (trace.AnalyzeSharded) at N shards. Before timing
+// anything, every case's outputs are cross-checked bit-identical; a
+// mismatch aborts the run.
+//
+// With -full, an out-of-core case joins the suite: a 100M-event trace
+// is streamed into a columnar v2 container on disk (never existing in
+// memory as an event slice) and analyzed through the mmap-backed
+// trace.AnalyzeFileSharded, equivalence-gated against the streaming
+// single-pass reader over the same file. The shared -shards flag picks
+// its shard count (0 = one per core).
 //
 // Usage:
 //
 //	analysisbench                 # standard suite (up to 1M events)
-//	analysisbench -full           # adds the 10M-event cases
+//	analysisbench -full           # adds the 10M- and out-of-core 100M-event cases
 //	analysisbench -quick -out /tmp/b.json
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -28,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -38,16 +49,18 @@ import (
 )
 
 type caseResult struct {
-	Name        string `json:"name"`
-	Config      string `json:"config"`
-	Receivers   int    `json:"receivers"`
-	Events      int    `json:"events"`
-	Windows     int    `json:"windows"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	AllocsPerOp int64  `json:"allocs_per_op"`
-	BytesPerOp  int64  `json:"bytes_per_op"`
-	Skipped     bool   `json:"skipped,omitempty"`
-	Note        string `json:"note,omitempty"`
+	Name        string  `json:"name"`
+	Config      string  `json:"config"`
+	Receivers   int     `json:"receivers"`
+	Events      int     `json:"events"`
+	Windows     int     `json:"windows"`
+	Shards      int     `json:"shards,omitempty"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MEventsPerS float64 `json:"mevents_per_sec,omitempty"`
+	Skipped     bool    `json:"skipped,omitempty"`
+	Note        string  `json:"note,omitempty"`
 }
 
 type report struct {
@@ -170,7 +183,44 @@ func run(ctx context.Context) error {
 				_, err := trace.AnalyzeReader(ctx, bytes.NewReader(encoded), ws)
 				return err
 			}))
+
+			// Sharded driver at the sizes where partitioning pays.
+			// Each count is equivalence-gated, then timed; one
+			// instrumented run per count reports the parallel
+			// wall-clock throughput (slowest shard) and split costs.
+			if events >= 1_000_000 {
+				want, err := trace.Analyze(tr, ws)
+				if err != nil {
+					return fmt.Errorf("%s: sweep: %w", name, err)
+				}
+				for _, n := range shardCounts() {
+					var stats trace.ShardStats
+					sharded, err := trace.AnalyzeShardedCtx(ctx, tr, ws, n, &stats)
+					if err != nil {
+						return fmt.Errorf("%s: sharded-%d: %w", name, n, err)
+					}
+					if diffs := trace.DiffAnalyses(want, sharded); len(diffs) > 0 {
+						return fmt.Errorf("%s: sweep vs sharded-%d disagree:\n%s", name, n, strings.Join(diffs, "\n"))
+					}
+					c := benchCase(name, fmt.Sprintf("sharded-%d", n), tr, nW, func() error {
+						_, err := trace.AnalyzeSharded(tr, ws, n, nil)
+						return err
+					})
+					c.Shards = len(stats.Shards)
+					c.MEventsPerS = stats.EventsPerSec() / 1e6
+					c.Note = shardNote(&stats)
+					add(c)
+				}
+			}
 		}
+	}
+
+	if *full {
+		c, err := outOfCoreCase(ctx, 32, 100_000_000)
+		if err != nil {
+			return err
+		}
+		add(c)
 	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
@@ -193,6 +243,113 @@ func eventLabel(events int) string {
 		return fmt.Sprintf("%dk", events/1_000)
 	}
 	return fmt.Sprint(events)
+}
+
+// shardCounts returns the shard counts benchmarked on the large cases:
+// 2/4/8 by default, or exactly the shared -shards value when one is
+// given (0 keeps the default sweep — "auto" is a deployment knob, not
+// a benchmark point).
+func shardCounts() []int {
+	if n := cli.Shards(); n > 0 {
+		return []int{n}
+	}
+	return []int{2, 4, 8}
+}
+
+// shardNote summarizes one instrumented sharded run: split costs and
+// the per-shard event spread, the numbers that explain a speedup (or
+// its absence) at a glance.
+func shardNote(stats *trace.ShardStats) string {
+	var slowest, events int64
+	for _, st := range stats.Shards {
+		events += st.Events
+		if st.NS > slowest {
+			slowest = st.NS
+		}
+	}
+	return fmt.Sprintf("plan %.2fms merge %.2fms slowest-shard %.2fms, %d event pieces across %d shards",
+		float64(stats.PlanNS)/1e6, float64(stats.MergeNS)/1e6, float64(slowest)/1e6, events, len(stats.Shards))
+}
+
+// outOfCoreCase builds and times the -full headline case: `events`
+// events streamed into a columnar v2 container on disk and analyzed
+// through the mmap-backed sharded driver, with the event slice never
+// materialized. The result is equivalence-gated against the streaming
+// single-pass reader over the same file — the only other path that can
+// analyze a trace this size in bounded memory. Timing is one measured
+// run (testing.Benchmark would re-run a multi-minute body), with the
+// process heap delta standing in for the benchmark allocator columns.
+func outOfCoreCase(ctx context.Context, receivers, events int) (caseResult, error) {
+	name := fmt.Sprintf("%drx-%s-ooc", receivers, eventLabel(events))
+	f, err := os.CreateTemp("", "analysisbench-*.trc")
+	if err != nil {
+		return caseResult{}, err
+	}
+	path := f.Name()
+	defer os.Remove(path)
+	bw := bufio.NewWriterSize(f, 1<<20)
+	horizon, err := benchprobs.WriteScaledV2(bw, receivers, events)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return caseResult{}, fmt.Errorf("%s: generating: %w", name, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return caseResult{}, err
+	}
+	log.Printf("%-24s generated %d events, %.1f MiB (%.2f B/event), horizon %d",
+		name, events, float64(fi.Size())/(1<<20), float64(fi.Size())/float64(events), horizon)
+
+	// A window a few thousand bursts wide keeps the per-window tables
+	// (the analysis output) small against the input: ~16k windows
+	// regardless of event count.
+	ws := horizon / 16384
+	shards := cli.Shards()
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	var stats trace.ShardStats
+	t0 := time.Now()
+	sharded, err := trace.AnalyzeFileSharded(ctx, path, ws, shards, &stats)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return caseResult{}, fmt.Errorf("%s: sharded: %w", name, err)
+	}
+
+	sf, err := os.Open(path)
+	if err != nil {
+		return caseResult{}, err
+	}
+	streamed, err := trace.AnalyzeReader(ctx, sf, ws)
+	sf.Close()
+	if err != nil {
+		return caseResult{}, fmt.Errorf("%s: stream gate: %w", name, err)
+	}
+	if diffs := trace.DiffAnalyses(streamed, sharded); len(diffs) > 0 {
+		return caseResult{}, fmt.Errorf("%s: stream vs sharded disagree:\n%s", name, strings.Join(diffs, "\n"))
+	}
+
+	return caseResult{
+		Name:        name,
+		Config:      fmt.Sprintf("sharded-file-%d", len(stats.Shards)),
+		Receivers:   receivers,
+		Events:      events,
+		Windows:     sharded.NumWindows(),
+		Shards:      len(stats.Shards),
+		NsPerOp:     elapsed.Nanoseconds(),
+		AllocsPerOp: int64(m1.Mallocs - m0.Mallocs),
+		BytesPerOp:  int64(m1.TotalAlloc - m0.TotalAlloc),
+		MEventsPerS: stats.EventsPerSec() / 1e6,
+		Note: fmt.Sprintf("out-of-core mmap ingest of a %.1f MiB v2 file; single measured run; %s",
+			float64(fi.Size())/(1<<20), shardNote(&stats)),
+	}, nil
 }
 
 // encodeSorted renders the trace in the binary stream format.

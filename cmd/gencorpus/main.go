@@ -38,6 +38,7 @@ func main() {
 
 	corpora := map[string][]entry{
 		"internal/trace/testdata/fuzz/FuzzAnalyze":          analyzeSeeds(),
+		"internal/trace/testdata/fuzz/FuzzShardedAnalyze":   shardedSeeds(),
 		"internal/trace/testdata/fuzz/FuzzTraceEncode":      encodeSeeds(),
 		"internal/stbus/testdata/fuzz/FuzzNetlistRoundTrip": netlistSeeds(),
 		"internal/check/testdata/fuzz/FuzzDesignTrace":      designSeeds(),
@@ -124,6 +125,29 @@ func analyzeSeeds() []entry {
 	}
 }
 
+func shardedSeeds() []entry {
+	// Mirror FuzzShardedAnalyze's in-source seeds: cut-straddling
+	// grants, clustered events leaving most shards empty, more shards
+	// than windows, and the auto shard count on a wide bitset.
+	straddle := append([]byte{2, 1, 200, 0}, fuzzEvent(0, 200, 0, 0, true)...)
+	straddle = append(straddle, fuzzEvent(50, 100, 1, 0, false)...)
+	cluster := []byte{4, 1, 255, 15}
+	for r := byte(0); r < 4; r++ {
+		cluster = append(cluster, fuzzEvent(int64(r), 6, r, 0, r%2 == 0)...)
+	}
+	wide := []byte{95, 0, 200, 0}
+	wide = append(wide, fuzzEvent(0, 150, 70, 0, true)...)
+	wide = append(wide, fuzzEvent(10, 120, 90, 0, false)...)
+	return []entry{
+		{"empty-trace", []any{[]byte{3, 1, 40, 0}, int64(10), int64(2)}},
+		{"straddles-every-cut", []any{straddle, int64(25), int64(7)}},
+		{"clustered-empty-shards", []any{cluster, int64(16), int64(8)}},
+		{"more-shards-than-windows", []any{append([]byte{2, 1, 64, 0},
+			fuzzEvent(0, 8, 0, 0, false)...), int64(math.MaxInt64), int64(6)}},
+		{"auto-shards-wide-bitset", []any{wide, int64(25), int64(0)}},
+	}
+}
+
 func encodeSeeds() []entry {
 	valid := &trace.Trace{NumReceivers: 2, NumSenders: 1, Horizon: 32, Events: []trace.Event{
 		{Start: 0, Len: 4, Sender: 0, Receiver: 0, Critical: true},
@@ -141,8 +165,13 @@ func encodeSeeds() []entry {
 	binary.LittleEndian.PutUint32(hdr[12:], 1)
 	binary.LittleEndian.PutUint64(hdr[16:], 32)
 	binary.LittleEndian.PutUint64(hdr[24:], 1<<27)
+	var v2buf bytes.Buffer
+	if err := trace.WriteBinaryV2(&v2buf, valid); err != nil {
+		log.Fatal(err)
+	}
 	return []entry{
 		{"valid-trace", []any{buf.Bytes()}},
+		{"valid-trace-v2", []any{v2buf.Bytes()}},
 		{"event-count-bomb", []any{hdr}},
 		{"magic-only", []any{[]byte("STBT")}},
 		{"empty", []any{[]byte{}}},

@@ -31,6 +31,7 @@ var (
 	burst      = flag.Int64("burst", 1000, "nominal burst length for -app synth (cycles)")
 	dumpTraces = flag.String("dump-traces", "", "prefix for binary trace dumps (<prefix>.req.trc, <prefix>.resp.trc)")
 	asJSON     = flag.Bool("json-traces", false, "dump traces as JSON instead of binary")
+	traceFmt   = flag.String("trace-format", "v1", "binary trace container: v1 (fixed 25-byte records) or v2 (columnar delta-encoded, ~5x smaller)")
 	vcdOut     = flag.String("vcd", "", "write a VCD waveform of the bus activity to this file")
 )
 
@@ -153,5 +154,11 @@ func dumpTrace(path string, tr *trace.Trace, asJSON bool) error {
 	if asJSON {
 		return trace.WriteJSON(f, tr)
 	}
-	return trace.WriteBinary(f, tr)
+	switch *traceFmt {
+	case "v1":
+		return trace.WriteBinary(f, tr)
+	case "v2":
+		return trace.WriteBinaryV2(f, tr)
+	}
+	return fmt.Errorf("-trace-format: unknown %q (want v1 or v2)", *traceFmt)
 }

@@ -47,6 +47,8 @@ var (
 	maxNodes     = flag.Int64("max-nodes", 0, "upper clamp on per-job solver node budgets (0 = engine default)")
 	drainTimeout = flag.Duration("drain-timeout", 0, "graceful-drain budget on SIGTERM before in-flight jobs are canceled (0 = 15s)")
 	maxBody      = flag.Int64("max-body", 0, "request body size bound in bytes (0 = 64 MiB)")
+	spoolLimit   = flag.Int64("spool-threshold", 0, "binary trace bodies above this many bytes are spooled to disk and analyzed out-of-core via the sharded driver (0 = 8 MiB, negative = always decode in memory)")
+	spoolDir     = flag.String("spool-dir", "", "directory for spooled trace bodies (empty = system temp dir)")
 	history      = flag.Int("history", 0, "finished jobs kept pollable (0 = 512)")
 	cacheDir     = flag.String("cache-dir", "", "design-cache disk tier directory (empty = memory only)")
 	cacheEntries = flag.Int("cache-entries", 0, "design-cache in-memory entry bound (0 = default)")
@@ -75,6 +77,9 @@ func run(ctx context.Context) error {
 		MaxTimeout:     *maxTimeout,
 		MaxNodes:       *maxNodes,
 		MaxBody:        *maxBody,
+		SpoolThreshold: *spoolLimit,
+		SpoolDir:       *spoolDir,
+		Shards:         cli.Shards(),
 		JobHistory:     *history,
 		Workers:        cli.Workers(),
 		CacheConfig:    ccfg,

@@ -5,16 +5,20 @@
 // threshold) before running xbargen.
 //
 // With -stream, the binary trace is instead analyzed directly from the
-// file through the streaming sweep kernel (trace.AnalyzeReader): the
-// events are never materialized, so arbitrarily long traces fit in
-// memory bounded by the output tables. The report then covers the
-// window analysis plus the measured allocation footprint.
+// file without materializing the events, so arbitrarily long traces
+// fit in memory bounded by the output tables. -shards N (0 = one per
+// CPU core) runs the memory-mapped sharded driver — bit-identical to
+// the single pass, with per-shard throughput in the report; -shards 1
+// forces the sequential streaming kernel (trace.AnalyzeReader). The
+// report then covers the window analysis plus the measured allocation
+// footprint.
 //
 // Usage:
 //
 //	tracestat -trace mat2.req.trc
 //	tracestat -trace mat2.req.trc -window 800
 //	tracestat -trace huge.trc -window 800 -stream
+//	tracestat -trace huge.trc -window 800 -stream -shards 8
 package main
 
 import (
@@ -49,7 +53,7 @@ func run(ctx context.Context) (err error) {
 	}
 	defer f.Close()
 	if *stream {
-		return runStream(ctx, f)
+		return runStream(ctx, f, *tracePath)
 	}
 	var tr *trace.Trace
 	if *jsonTrace {
@@ -141,11 +145,12 @@ func run(ctx context.Context) (err error) {
 	return nil
 }
 
-// runStream analyzes the opened binary trace through the streaming
-// sweep kernel and reports the window analysis alongside the measured
-// allocation footprint — the number that demonstrates the events were
-// never materialized.
-func runStream(ctx context.Context, f *os.File) error {
+// runStream analyzes the binary trace without materializing the events
+// — through the mmap-backed sharded driver (default; -shards picks the
+// count) or the sequential streaming kernel (-shards 1) — and reports
+// the window analysis alongside per-shard throughput and the measured
+// allocation footprint.
+func runStream(ctx context.Context, f *os.File, path string) error {
 	if *jsonTrace {
 		return errors.New("-stream reads the binary format only (JSON traces must be loaded; drop -stream)")
 	}
@@ -157,7 +162,14 @@ func runStream(ctx context.Context, f *os.File) error {
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 
-	a, err := trace.AnalyzeReader(ctx, f, *window)
+	var stats trace.ShardStats
+	var a *trace.Analysis
+	var err error
+	if cli.Shards() == 1 {
+		a, err = trace.AnalyzeReader(ctx, f, *window)
+	} else {
+		a, err = trace.AnalyzeFileSharded(ctx, path, *window, cli.Shards(), &stats)
+	}
 	if err != nil {
 		return err
 	}
@@ -168,6 +180,18 @@ func runStream(ctx context.Context, f *os.File) error {
 	nW := a.NumWindows()
 	fmt.Printf("streamed analysis: %d receivers, %d windows of %d cycles\n",
 		a.NumReceivers, nW, *window)
+	if n := len(stats.Shards); n > 0 {
+		fmt.Printf("shards: %d (plan %.2fms, merge %.2fms), %.1fM events/s aggregate\n",
+			n, float64(stats.PlanNS)/1e6, float64(stats.MergeNS)/1e6, stats.EventsPerSec()/1e6)
+		for s, st := range stats.Shards {
+			rate := 0.0
+			if st.NS > 0 {
+				rate = float64(st.Events) / (float64(st.NS) / 1e9)
+			}
+			fmt.Printf("  shard %2d: %7d windows  %10d events  %8.2fms  %7.1fM ev/s\n",
+				s, st.Windows, st.Events, float64(st.NS)/1e6, rate/1e6)
+		}
+	}
 	fmt.Printf("max window load: %d fully-loaded buses\n", a.MaxWindowLoad())
 	fmt.Printf("overlap table: %d nonzero cells (fill %.2f%%), critical %d (fill %.2f%%)\n",
 		a.Overlap.NNZ(), a.Overlap.FillRatio()*100,

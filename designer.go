@@ -116,6 +116,32 @@ func (d *Designer) DesignTrace(ctx context.Context, tr *Trace, windowSize int64)
 	if err != nil {
 		return nil, err
 	}
+	return designFromAnalysis(ctx, a, opts)
+}
+
+// DesignAnalysis designs one direction's crossbar from a precomputed
+// window analysis (phase 3 only). It is the entry point for callers
+// that produced the analysis themselves — notably out-of-core sharded
+// ingest (trace.AnalyzeFileSharded), where the event stream never
+// exists as a Trace value. The design cache keys on the analysis
+// fingerprint, so designs reached through this path and through
+// DesignTrace share hits.
+func (d *Designer) DesignAnalysis(ctx context.Context, a *Analysis) (_ *Design, err error) {
+	ctx, span := obs.Start(ctx, "designer.design_analysis")
+	defer span.End()
+	defer func() { span.SetError(err) }()
+	span.SetInt("receivers", int64(a.NumReceivers))
+	span.SetInt("windows", int64(a.NumWindows()))
+	opts := d.options()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return designFromAnalysis(ctx, a, opts)
+}
+
+// designFromAnalysis is the shared phase-3 body of DesignTrace and
+// DesignAnalysis: solve, then optionally audit.
+func designFromAnalysis(ctx context.Context, a *Analysis, opts Options) (*Design, error) {
 	design, err := core.DesignCrossbarCtx(ctx, a, opts)
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ package benchprobs
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"repro/internal/trace"
@@ -85,6 +86,38 @@ func ScaledTrace(receivers, events int) *trace.Trace {
 		tr.Horizon = 1
 	}
 	return tr
+}
+
+// WriteScaledV2 streams the ScaledTrace event shape with the given
+// receiver and event counts directly into a columnar v2 trace container
+// on w, never materializing the event slice — the generator for the
+// out-of-core benchmark cases (cmd/analysisbench -full), whose traces
+// would dwarf memory as a []trace.Event. The event sequence matches
+// ScaledTrace draw for draw; only the horizon differs (the worst-case
+// burst bound instead of the observed maximum, since the container
+// header precedes the events). Returns the horizon written.
+func WriteScaledV2(w io.Writer, receivers, events int) (int64, error) {
+	const stride = 28
+	const maxBurst = 9 + 23 // the largest 9+Intn(24) draw
+	horizon := int64((events+3)/4)*stride + maxBurst
+	rng := rand.New(rand.NewSource(int64(receivers)*1_000_003 + int64(events)))
+	vw, err := trace.NewV2Writer(w, receivers, 4, horizon, uint64(events))
+	if err != nil {
+		return 0, err
+	}
+	for k := 0; k < events; k++ {
+		e := trace.Event{
+			Start:    int64(k/4) * stride,
+			Len:      int64(9 + rng.Intn(24)),
+			Sender:   k % 4,
+			Receiver: (k*13 + k/4) % receivers,
+			Critical: rng.Intn(8) == 0,
+		}
+		if err := vw.Add(e); err != nil {
+			return 0, err
+		}
+	}
+	return horizon, vw.Close()
 }
 
 // ScaledWindow returns the analysis window size for a ScaledTrace:

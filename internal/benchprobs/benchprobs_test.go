@@ -1,0 +1,44 @@
+package benchprobs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestWriteScaledV2MatchesScaledTrace pins the streaming generator to
+// the in-memory one: same seed, same draws, same event sequence. Only
+// the horizon may differ (worst-case bound vs observed maximum).
+func TestWriteScaledV2MatchesScaledTrace(t *testing.T) {
+	for _, events := range []int{0, 1, 7, 10_000} {
+		want := ScaledTrace(16, events)
+		var buf bytes.Buffer
+		horizon, err := WriteScaledV2(&buf, 16, events)
+		if err != nil {
+			t.Fatalf("events=%d: WriteScaledV2: %v", events, err)
+		}
+		if horizon < want.Horizon {
+			t.Fatalf("events=%d: streamed horizon %d below observed %d", events, horizon, want.Horizon)
+		}
+		got, err := trace.ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("events=%d: ReadBinary: %v", events, err)
+		}
+		if got.NumReceivers != want.NumReceivers || got.NumSenders != want.NumSenders {
+			t.Fatalf("events=%d: core counts %d/%d, want %d/%d",
+				events, got.NumReceivers, got.NumSenders, want.NumReceivers, want.NumSenders)
+		}
+		if got.Horizon != horizon {
+			t.Fatalf("events=%d: decoded horizon %d, want %d", events, got.Horizon, horizon)
+		}
+		if len(got.Events) != len(want.Events) {
+			t.Fatalf("events=%d: decoded %d events, want %d", events, len(got.Events), len(want.Events))
+		}
+		for k := range got.Events {
+			if got.Events[k] != want.Events[k] {
+				t.Fatalf("events=%d: event %d = %+v, want %+v", events, k, got.Events[k], want.Events[k])
+			}
+		}
+	}
+}

@@ -27,12 +27,14 @@ func AnalysisGenParams() GenParams {
 	}
 }
 
-// AnalysisDiff runs one random trace through the three analysis paths —
+// AnalysisDiff runs one random trace through the analysis paths —
 // the sweep-line kernel (the Analyze default), the retained legacy
-// pairwise kernel, and the streaming reader fed the binary encoding of
-// a start-sorted copy — and returns a description per output mismatch.
-// Every fourth seed additionally pins the kernels to each other on
-// adaptive (variable-size) window boundaries, the irregular-edge case.
+// pairwise kernel, the streaming reader fed the binary encoding of
+// a start-sorted copy, and the sharded driver over the columnar v2
+// byte image at a seed-drawn shard count — and returns a description
+// per output mismatch. Every fourth seed additionally pins the kernels
+// to each other on adaptive (variable-size) window boundaries, the
+// irregular-edge case.
 // The error return is reserved for harness failures (a kernel rejecting
 // a valid case outright); disagreements between successful runs are
 // data.
@@ -87,7 +89,31 @@ func AnalysisDiff(ctx context.Context, seed int64, p GenParams) ([]string, error
 			out = append(out, fmt.Sprintf("sweep vs legacy (adaptive %d..%d): %s", minWS, maxWS, d))
 		}
 	}
+
+	// Sharded out-of-core driver over the columnar v2 container: encode,
+	// then analyze the byte image partitioned into a seed-drawn number
+	// of shards (0 exercises the per-core default). Drawn after every
+	// earlier rng use so older seeds keep reproducing the same cases.
+	shards := rng.Intn(10)
+	sharded, err := analyzeShardedV2(ctx, tr, ws, shards)
+	if err != nil {
+		return nil, fmt.Errorf("check: case %d: sharded v2 kernel: %w", seed, err)
+	}
+	for _, d := range trace.DiffAnalyses(sweep, sharded) {
+		out = append(out, fmt.Sprintf("sweep vs sharded-v2 (ws=%d shards=%d): %s", ws, shards, d))
+	}
 	return out, nil
+}
+
+// analyzeShardedV2 encodes the trace in the columnar v2 container and
+// analyzes the byte image through the out-of-core sharded driver — the
+// path a spooled server upload takes, minus the mmap.
+func analyzeShardedV2(ctx context.Context, tr *trace.Trace, ws int64, shards int) (*trace.Analysis, error) {
+	var buf bytes.Buffer
+	if err := trace.WriteBinaryV2(&buf, tr); err != nil {
+		return nil, err
+	}
+	return trace.AnalyzeBytesSharded(ctx, buf.Bytes(), ws, shards, nil)
 }
 
 // analyzeStreamed encodes a start-sorted copy of the trace in the

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
 	"time"
 
@@ -20,14 +21,26 @@ import (
 // trace to analyze and design (phases 2–3) or a named benchmark
 // application to run through the full four-phase methodology.
 type designRequest struct {
-	// Exactly one of tr / app is set.
+	// Exactly one of tr / spool / app is set. spool is the temp-file
+	// path of a large binary trace body routed through the out-of-core
+	// sharded path instead of decoded into memory.
 	tr     *trace.Trace
+	spool  string
 	app    *stbusgen.App
 	window int64 // trace jobs; 0 means the trace's own hint
 
 	opts    core.Options
 	timeout time.Duration
 	async   bool
+}
+
+// cleanup releases the request's spooled body, if any. Idempotent; it
+// runs when the job finishes and on every pre-admission error path.
+func (req *designRequest) cleanup() {
+	if req.spool != "" {
+		os.Remove(req.spool) //nolint:errcheck // best-effort temp cleanup
+		req.spool = ""
+	}
 }
 
 // appSpec is the JSON body of an application design request: a named
@@ -140,11 +153,9 @@ func (s *Server) decodeDesignRequest(r *http.Request) (*designRequest, error) {
 	// as a binary trace keeps the obvious invocation working.
 	case "application/octet-stream", "application/x-stbus-trace",
 		"application/x-www-form-urlencoded", "":
-		tr, err := trace.ReadBinary(body)
-		if err != nil {
-			return nil, badRequest("binary trace: %v", err)
+		if err := s.ingestBinaryTrace(body, req); err != nil {
+			return nil, err
 		}
-		req.tr = tr
 	case "application/json":
 		raw, err := io.ReadAll(body)
 		if err != nil {
@@ -172,6 +183,74 @@ func (s *Server) decodeDesignRequest(r *http.Request) (*designRequest, error) {
 		req.window = req.tr.WindowSizeHint()
 	}
 	return req, nil
+}
+
+// ingestBinaryTrace decodes a binary trace body. Bodies at most
+// SpoolThreshold bytes are decoded in memory as before; larger ones
+// are spooled to a temp file after a fail-fast header check and
+// analyzed later through the mmap-backed sharded driver, so the
+// per-job cost of a 100M-event POST is the analysis tables, not the
+// event slice. Spooled jobs cannot compute burst statistics for the
+// window hint, so the default window falls back to horizon/100 —
+// clients posting huge traces should pass ?window= explicitly.
+func (s *Server) ingestBinaryTrace(body io.Reader, req *designRequest) error {
+	threshold := s.cfg.SpoolThreshold
+	if threshold < 0 || threshold >= s.cfg.MaxBody {
+		tr, err := trace.ReadBinary(body)
+		if err != nil {
+			return badRequest("binary trace: %v", err)
+		}
+		req.tr = tr
+		return nil
+	}
+
+	head := make([]byte, threshold+1)
+	n, err := io.ReadFull(body, head)
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		// The whole body fits under the threshold: the in-memory path.
+		tr, err := trace.ReadBinary(bytes.NewReader(head[:n]))
+		if err != nil {
+			return badRequest("binary trace: %v", err)
+		}
+		req.tr = tr
+		return nil
+	}
+	if err != nil {
+		return badRequest("binary trace: %v", err)
+	}
+
+	// Too big to hold: fail fast on the header, then spool to disk.
+	hdr, err := trace.ReadHeader(bytes.NewReader(head))
+	if err != nil {
+		return badRequest("binary trace: %v", err)
+	}
+	f, err := os.CreateTemp(s.cfg.SpoolDir, "stbusd-trace-*.trc")
+	if err != nil {
+		return fmt.Errorf("spooling trace body: %w", err)
+	}
+	spooled := false
+	defer func() {
+		f.Close()
+		if !spooled {
+			os.Remove(f.Name()) //nolint:errcheck // best-effort temp cleanup
+		}
+	}()
+	if _, err := f.Write(head); err != nil {
+		return fmt.Errorf("spooling trace body: %w", err)
+	}
+	if _, err := io.Copy(f, body); err != nil {
+		// MaxBytesReader errors land here for oversized bodies.
+		return badRequest("binary trace: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("spooling trace body: %w", err)
+	}
+	spooled = true
+	req.spool = f.Name()
+	if req.window == 0 {
+		req.window = max(hdr.Horizon/100, 1)
+	}
+	return nil
 }
 
 // lookupApp resolves an application spec against the paper's benchmark

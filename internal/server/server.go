@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Service traffic instruments (see internal/obs), process-global like
@@ -76,6 +78,19 @@ type Config struct {
 	MaxNodes int64
 	// MaxBody bounds a request body. 0 means 64 MiB.
 	MaxBody int64
+	// SpoolThreshold routes binary trace bodies larger than this
+	// through the out-of-core path: the body is spooled to a temp file
+	// and analyzed via the mmap-backed sharded driver instead of being
+	// decoded into an in-memory event slice — a 100M-event POST costs
+	// the analysis tables, not gigabytes, per in-flight job. 0 means
+	// 8 MiB; negative disables spooling (always decode in memory).
+	SpoolThreshold int64
+	// SpoolDir holds the spooled bodies. "" means os.TempDir().
+	SpoolDir string
+	// Shards is the trace-analysis shard count for spooled jobs
+	// (trace.AnalyzeFileSharded); 0 means one shard per CPU core. The
+	// analysis is bit-identical at any setting.
+	Shards int
 	// JobHistory bounds how many finished jobs stay pollable before the
 	// oldest are forgotten. 0 means 512.
 	JobHistory int
@@ -120,6 +135,12 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.MaxBody <= 0 {
 		out.MaxBody = 64 << 20
+	}
+	if out.SpoolThreshold == 0 {
+		out.SpoolThreshold = 8 << 20
+	}
+	if out.SpoolDir == "" {
+		out.SpoolDir = os.TempDir()
 	}
 	if out.JobHistory <= 0 {
 		out.JobHistory = 512
@@ -221,6 +242,7 @@ func (s *Server) worker() {
 // own telemetry and deadline.
 func (s *Server) runJob(j *job) {
 	defer s.inflight.Done()
+	defer j.req.cleanup()
 	now := time.Now()
 	j.setRunning(now)
 	metQueueWait.Observe(now.Sub(j.created).Nanoseconds())
@@ -238,9 +260,29 @@ func (s *Server) runJob(j *job) {
 		result *stbusgen.Result
 		err    error
 	)
-	if j.req.tr != nil {
+	switch {
+	case j.req.spool != "":
+		// Spooled large trace: out-of-core sharded analysis over the
+		// mmap'd file, then phase 3 from the analysis. The cache keys
+		// on the analysis fingerprint, so hits are shared with the
+		// in-memory path regardless of container format.
+		var a *trace.Analysis
+		a, err = trace.AnalyzeFileSharded(ctx, j.req.spool, j.req.window, s.cfg.Shards, nil)
+		switch {
+		case err == nil:
+			design, err = designer.DesignAnalysis(ctx, a)
+		case errors.Is(err, trace.ErrUnsorted):
+			// Unsorted v1 uploads cannot be analyzed out-of-core
+			// (sorting would materialize the events anyway), so decode
+			// and take the in-memory path; MaxBody bounds the cost.
+			var tr *trace.Trace
+			if tr, err = readSpooledTrace(j.req.spool); err == nil {
+				design, err = designer.DesignTrace(ctx, tr, j.req.window)
+			}
+		}
+	case j.req.tr != nil:
 		design, err = designer.DesignTrace(ctx, j.req.tr, j.req.window)
-	} else {
+	default:
 		result, err = designer.Design(ctx, j.req.app)
 	}
 	end := time.Now()
@@ -261,6 +303,17 @@ func (s *Server) runJob(j *job) {
 	}
 	j.bus.Close()
 	s.forwardToGlobal(j)
+}
+
+// readSpooledTrace decodes a spooled body in memory — the fallback for
+// unsorted v1 uploads, which the out-of-core driver cannot analyze.
+func readSpooledTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadBinary(f)
 }
 
 // forwardToGlobal copies the job's flight events into the daemon-wide
@@ -397,6 +450,7 @@ func (s *Server) handleDesign(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.admit(req)
 	if err != nil {
+		req.cleanup()
 		he := asHTTPError(err)
 		if he.status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")

@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"sync"
 	"syscall"
@@ -531,4 +532,116 @@ func TestAsyncLocationHeader(t *testing.T) {
 		t.Errorf("Location %q does not match job id %q", loc, j.Job)
 	}
 	pollJob(t, hs.URL, j.Job, func(x *jobJSON) bool { return x.Status == "done" || x.Status == "failed" })
+}
+
+// TestStreamingIngest pins the out-of-core ingest path: with a tiny
+// spool threshold every binary body is spooled to disk and analyzed
+// through the mmap-backed sharded driver, the design round-trips, the
+// spool file is cleaned up, and — because the cache keys on the
+// analysis fingerprint, not the container bytes — a v2 re-encode of
+// the same trace is an exact cache hit.
+func TestStreamingIngest(t *testing.T) {
+	spoolDir := t.TempDir()
+	cfg := testConfig()
+	cfg.SpoolThreshold = 64 // force spooling for any real trace body
+	cfg.SpoolDir = spoolDir
+	cfg.Shards = 3
+	_, hs := newTestServer(t, cfg)
+
+	tr := benchprobs.TraceN(16)
+	// The out-of-core driver needs start-ordered bytes; keep the
+	// original (unsorted) trace around to exercise the in-memory
+	// fallback below.
+	sorted := &trace.Trace{
+		NumReceivers: tr.NumReceivers,
+		NumSenders:   tr.NumSenders,
+		Horizon:      tr.Horizon,
+		Events:       append([]trace.Event(nil), tr.Events...),
+	}
+	sort.SliceStable(sorted.Events, func(i, j int) bool {
+		return sorted.Events[i].Start < sorted.Events[j].Start
+	})
+	url := hs.URL + "/v1/design?window=500"
+
+	j, status := postDesign(t, url, traceBody(t, sorted))
+	if status != http.StatusOK || j.Status != "done" {
+		t.Fatalf("spooled v1 design: status %d job %q err %q", status, j.Status, j.Error)
+	}
+	if j.Design == nil || j.Design.NumBuses <= 0 {
+		t.Fatalf("spooled v1 design: no design in %+v", j)
+	}
+	if j.Cached != "" {
+		t.Fatalf("first solve reported cached=%q", j.Cached)
+	}
+
+	// Same logical trace, v2 container: must hit the cache exactly.
+	var v2 bytes.Buffer
+	if err := trace.WriteBinaryV2(&v2, tr); err != nil {
+		t.Fatal(err)
+	}
+	j2, status := postDesign(t, url, v2.Bytes())
+	if status != http.StatusOK || j2.Status != "done" {
+		t.Fatalf("spooled v2 design: status %d job %q err %q", status, j2.Status, j2.Error)
+	}
+	if j2.Cached != "memory" {
+		t.Fatalf("v2 re-encode: cached=%q, want \"memory\" (fingerprint must be container-independent)", j2.Cached)
+	}
+	if !designEqual(j.Design, j2.Design) {
+		t.Fatalf("cached design differs: %+v vs %+v", j.Design, j2.Design)
+	}
+
+	// An unsorted v1 body cannot be analyzed out-of-core; the server
+	// falls back to in-memory decode — and since the fingerprint depends
+	// only on the analysis, this too is an exact cache hit.
+	j3, status := postDesign(t, url, traceBody(t, tr))
+	if status != http.StatusOK || j3.Status != "done" {
+		t.Fatalf("unsorted v1 fallback: status %d job %q err %q", status, j3.Status, j3.Error)
+	}
+	if j3.Cached != "memory" {
+		t.Fatalf("unsorted v1 fallback: cached=%q, want \"memory\"", j3.Cached)
+	}
+
+	// Spool files are removed once their jobs finish (the cleanup is
+	// deferred past the response, hence the poll).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, err := os.ReadDir(spoolDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d spool files remain after jobs finished", len(ents))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A corrupt oversized body fails fast on the header without leaving
+	// a spool file behind.
+	junk := append([]byte("NOPE"), make([]byte, 256)...)
+	_, status = postDesign(t, url, junk)
+	if status != http.StatusBadRequest {
+		t.Fatalf("corrupt body: status %d, want 400", status)
+	}
+	if ents, _ := os.ReadDir(spoolDir); len(ents) != 0 {
+		t.Fatalf("corrupt body left %d spool files", len(ents))
+	}
+}
+
+// designEqual compares the wire forms of two designs structurally.
+func designEqual(a, b *designJSON) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.NumBuses != b.NumBuses || len(a.BusOf) != len(b.BusOf) {
+		return false
+	}
+	for i := range a.BusOf {
+		if a.BusOf[i] != b.BusOf[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -68,6 +68,7 @@ const binaryEventSize = 25
 
 // binHeader is the parsed fixed-size header of a binary trace.
 type binHeader struct {
+	version      uint32
 	numReceivers uint32
 	numSenders   uint32
 	horizon      int64
@@ -87,15 +88,14 @@ func readBinaryHeader(br *bufio.Reader) (binHeader, error) {
 	if magic != binaryMagic {
 		return hdr, errors.New("trace: bad magic, not a binary trace file")
 	}
-	var version uint32
 	var horizon uint64
-	for _, p := range []any{&version, &hdr.numReceivers, &hdr.numSenders, &horizon, &hdr.numEvents} {
+	for _, p := range []any{&hdr.version, &hdr.numReceivers, &hdr.numSenders, &horizon, &hdr.numEvents} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return hdr, fmt.Errorf("trace: reading header: %w", err)
 		}
 	}
-	if version != binaryVersion {
-		return hdr, fmt.Errorf("trace: unsupported version %d", version)
+	if hdr.version != binaryVersion && hdr.version != binaryVersionV2 {
+		return hdr, fmt.Errorf("trace: unsupported version %d", hdr.version)
 	}
 	const maxCores = 1 << 20 // far beyond the STbus limit of 32
 	if hdr.numReceivers > maxCores || hdr.numSenders > maxCores {
@@ -103,6 +103,33 @@ func readBinaryHeader(br *bufio.Reader) (binHeader, error) {
 	}
 	hdr.horizon = int64(horizon)
 	return hdr, nil
+}
+
+// Header describes a binary trace file (either container version)
+// without decoding its events — what a server needs to validate and
+// route a large upload before committing to read it all.
+type Header struct {
+	Version      int
+	NumReceivers int
+	NumSenders   int
+	Horizon      int64
+	NumEvents    uint64
+}
+
+// ReadHeader parses and sanity-checks the fixed 32-byte header at the
+// start of r.
+func ReadHeader(r io.Reader) (Header, error) {
+	hdr, err := readBinaryHeader(bufio.NewReaderSize(r, 64))
+	if err != nil {
+		return Header{}, err
+	}
+	return Header{
+		Version:      int(hdr.version),
+		NumReceivers: int(hdr.numReceivers),
+		NumSenders:   int(hdr.numSenders),
+		Horizon:      hdr.horizon,
+		NumEvents:    hdr.numEvents,
+	}, nil
 }
 
 // ReadBinary parses a trace written by WriteBinary.
@@ -124,6 +151,15 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 		// header: a corrupt count below maxEvents would otherwise
 		// commit gigabytes before the first short read is noticed.
 		Events: make([]Event, 0, min(hdr.numEvents, 1<<16)),
+	}
+	if hdr.version == binaryVersionV2 {
+		if err := readV2Events(br, hdr, tr); err != nil {
+			return nil, err
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		return tr, nil
 	}
 	var buf [binaryEventSize]byte
 	for i := uint64(0); i < hdr.numEvents; i++ {

@@ -226,6 +226,73 @@ func FuzzAnalyze(f *testing.F) {
 	})
 }
 
+// FuzzShardedAnalyze cross-checks the sharded drivers against the
+// single-pass sweep on arbitrary traces: the in-memory sharded driver,
+// the byte-backed sharded driver over a v2 re-encode, and the v2
+// streaming reader must all be bit-identical to Analyze at an
+// arbitrary shard count — the fuzz form of the shard-boundary suite.
+func FuzzShardedAnalyze(f *testing.F) {
+	f.Add([]byte{3, 1, 40, 0}, int64(10), int64(2))
+	// A grant spanning the whole horizon straddles every cut.
+	straddle := append([]byte{2, 1, 200, 0}, fuzzEvent(0, 200, 0, 0, true)...)
+	straddle = append(straddle, fuzzEvent(50, 100, 1, 0, false)...)
+	f.Add(straddle, int64(25), int64(7))
+	// Everything clustered in one window: most shards are empty.
+	cluster := []byte{4, 1, 255, 15}
+	for r := byte(0); r < 4; r++ {
+		cluster = append(cluster, fuzzEvent(int64(r), 6, r, 0, r%2 == 0)...)
+	}
+	f.Add(cluster, int64(16), int64(8))
+	// More shards than windows.
+	f.Add(append([]byte{2, 1, 64, 0}, fuzzEvent(0, 8, 0, 0, false)...), int64(math.MaxInt64), int64(6))
+	// Auto shard count, wide bitset.
+	wide := []byte{95, 0, 200, 0}
+	wide = append(wide, fuzzEvent(0, 150, 70, 0, true)...)
+	wide = append(wide, fuzzEvent(10, 120, 90, 0, false)...)
+	f.Add(wide, int64(25), int64(0))
+
+	f.Fuzz(func(t *testing.T, data []byte, ws int64, shards int64) {
+		tr := decodeFuzzTrace(data)
+		if tr == nil || tr.Validate() != nil {
+			return
+		}
+		want, err := Analyze(tr, ws)
+		if err != nil {
+			return // FuzzAnalyze owns rejection behavior
+		}
+		// 0 (auto) or 1..9 explicit shards.
+		n := int(((shards % 10) + 10) % 10)
+
+		got, err := AnalyzeSharded(tr, ws, n, nil)
+		if err != nil {
+			t.Fatalf("AnalyzeSharded(%d) rejected a valid trace: %v", n, err)
+		}
+		if diffs := DiffAnalyses(got, want); len(diffs) > 0 {
+			t.Fatalf("sharded(%d) vs sweep:\n%s", n, strings.Join(diffs, "\n"))
+		}
+
+		var v2 bytes.Buffer
+		if err := WriteBinaryV2(&v2, tr); err != nil {
+			t.Fatalf("WriteBinaryV2: %v", err)
+		}
+		got, err = AnalyzeBytesSharded(context.Background(), v2.Bytes(), ws, n, nil)
+		if err != nil {
+			t.Fatalf("AnalyzeBytesSharded(v2, %d): %v", n, err)
+		}
+		if diffs := DiffAnalyses(got, want); len(diffs) > 0 {
+			t.Fatalf("v2 sharded(%d) vs sweep:\n%s", n, strings.Join(diffs, "\n"))
+		}
+
+		got, err = AnalyzeReader(context.Background(), bytes.NewReader(v2.Bytes()), ws)
+		if err != nil {
+			t.Fatalf("AnalyzeReader(v2): %v", err)
+		}
+		if diffs := DiffAnalyses(got, want); len(diffs) > 0 {
+			t.Fatalf("v2 stream vs sweep:\n%s", strings.Join(diffs, "\n"))
+		}
+	})
+}
+
 // FuzzTraceEncode hammers the binary decoder with arbitrary bytes and
 // requires that anything it accepts survives a binary and a JSON
 // round-trip bit-identically.
@@ -251,6 +318,13 @@ func FuzzTraceEncode(f *testing.F) {
 	f.Add(hdr)
 	f.Add([]byte("STBT"))
 	f.Add([]byte{})
+	// The same small trace in the v2 columnar container, so mutations
+	// explore the block decoder too.
+	var v2buf bytes.Buffer
+	if err := WriteBinaryV2(&v2buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2buf.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadBinary(bytes.NewReader(data))
@@ -281,6 +355,17 @@ func FuzzTraceEncode(f *testing.F) {
 		}
 		if !tracesEqual(tr, back) {
 			t.Fatalf("JSON round-trip changed the trace: %+v vs %+v", tr, back)
+		}
+		var v2 bytes.Buffer
+		if err := WriteBinaryV2(&v2, tr); err != nil {
+			t.Fatalf("WriteBinaryV2: %v", err)
+		}
+		back, err = ReadBinary(&v2)
+		if err != nil {
+			t.Fatalf("v2 round-trip decode: %v", err)
+		}
+		if !tracesEqual(sortedCopy(tr), back) {
+			t.Fatalf("v2 round-trip changed the trace: %+v vs %+v", tr, back)
 		}
 	})
 }

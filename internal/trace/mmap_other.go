@@ -1,0 +1,18 @@
+//go:build !unix
+
+package trace
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without mmap reads the file into memory — the
+// analysis still works, just without the out-of-core property.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data, err := io.ReadAll(io.LimitReader(f, int64(size)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

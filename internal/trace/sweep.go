@@ -275,25 +275,38 @@ func (sw *sweeper) feed(start, length int64, recv int, critical bool) {
 }
 
 // finish flushes both streams, compacts the sparse tables, derives the
-// aggregate OM from the compacted overlap rows (om_{i,j} = Σ_m
-// wo_{i,j,m}, stored only when positive, exactly as the legacy kernel
-// does) and returns the completed analysis.
+// aggregate OM and returns the completed analysis.
 func (sw *sweeper) finish() *Analysis {
+	sw.finishTables()
+	deriveOM(sw.a)
+	return sw.a
+}
+
+// finishTables flushes both streams and compacts the sparse tables
+// without deriving OM — the per-shard half of the sharded driver, whose
+// partial tables are merged before the aggregate matrix is meaningful.
+func (sw *sweeper) finishTables() *Analysis {
 	sw.busy.finish()
 	sw.crit.finish()
 	sw.a.Overlap.Compact()
 	sw.a.CritOverlap.Compact()
-	nT := sw.a.NumReceivers
+	return sw.a
+}
+
+// deriveOM fills the aggregate OM from the compacted overlap rows
+// (om_{i,j} = Σ_m wo_{i,j,m}, stored only when positive, exactly as the
+// legacy kernel does).
+func deriveOM(a *Analysis) {
+	nT := a.NumReceivers
 	row := 0
 	for i := 0; i < nT; i++ {
 		for j := i + 1; j < nT; j++ {
-			if total := sw.a.Overlap.RowSum(row); total > 0 {
-				sw.a.OM.Set(i, j, total)
+			if total := a.Overlap.RowSum(row); total > 0 {
+				a.OM.Set(i, j, total)
 			}
 			row++
 		}
 	}
-	return sw.a
 }
 
 // annotate records the kernel's instruments on the span and the
@@ -465,6 +478,14 @@ func AnalyzeReader(ctx context.Context, r io.Reader, ws int64) (*Analysis, error
 	metWindows.Add(int64(len(boundaries) - 1))
 
 	sw := newSweeper(nT, boundaries)
+	if hdr.version == binaryVersionV2 {
+		if err := analyzeReaderV2(ctx, br, hdr, sw, nT, nS); err != nil {
+			return nil, err
+		}
+		a := sw.finish()
+		sw.annotate(span)
+		return a, nil
+	}
 	var buf [binaryEventSize]byte
 	lastStart := int64(-1)
 	for i := uint64(0); i < hdr.numEvents; i++ {
@@ -477,17 +498,11 @@ func AnalyzeReader(ctx context.Context, r io.Reader, ws int64) (*Analysis, error
 			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
 		}
 		e := decodeBinaryEvent(&buf)
-		switch {
-		case e.Receiver < 0 || e.Receiver >= nT:
-			return nil, fmt.Errorf("trace: event %d receiver %d out of range [0,%d)", i, e.Receiver, nT)
-		case e.Sender < 0 || e.Sender >= nS:
-			return nil, fmt.Errorf("trace: event %d sender %d out of range [0,%d)", i, e.Sender, nS)
-		case e.Len <= 0:
-			return nil, fmt.Errorf("trace: event %d has non-positive length %d", i, e.Len)
-		case e.Start < 0 || e.Start >= hdr.horizon || e.Len > hdr.horizon-e.Start:
-			return nil, fmt.Errorf("trace: event %d [%d,+%d) outside horizon %d", i, e.Start, e.Len, hdr.horizon)
-		case e.Start < lastStart:
-			return nil, fmt.Errorf("trace: event %d starts at %d, before the previous start %d — streaming analysis requires start-ordered traces (fall back to ReadBinary + Analyze)", i, e.Start, lastStart)
+		if err := validateStreamEvent(i, e, nT, nS, hdr.horizon); err != nil {
+			return nil, err
+		}
+		if e.Start < lastStart {
+			return nil, fmt.Errorf("%w: event %d starts at %d, before the previous start %d — streaming analysis requires start-ordered traces (fall back to ReadBinary + Analyze)", ErrUnsorted, i, e.Start, lastStart)
 		}
 		lastStart = e.Start
 		sw.feed(e.Start, e.Len, e.Receiver, e.Critical)
